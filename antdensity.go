@@ -1,0 +1,143 @@
+package antdensity
+
+// This file is the library's public facade. The implementation lives
+// under internal/ (see doc.go for the map); the aliases and wrappers
+// here are the supported API surface for downstream users, covering
+// the paper's estimators end to end:
+//
+//	grid := antdensity.NewTorus2D(200)
+//	world, _ := antdensity.NewWorld(antdensity.WorldConfig{
+//	        Graph: grid, NumAgents: 2001, Seed: 42,
+//	})
+//	estimates, _ := antdensity.EstimateDensity(world, 2000)
+//
+// Everything re-exported here is also exercised directly by the
+// examples/ programs via the internal packages (same module).
+
+import (
+	"antdensity/internal/core"
+	"antdensity/internal/netsize"
+	"antdensity/internal/quorum"
+	"antdensity/internal/rng"
+	"antdensity/internal/sim"
+	"antdensity/internal/topology"
+)
+
+// Graph is a finite undirected graph whose nodes are [0, NumNodes()).
+// All estimator functions accept any Graph.
+type Graph = topology.Graph
+
+// Torus is the k-dimensional torus topology (the paper's grid model;
+// k=1 is the ring of Section 4.2, k=2 the headline two-dimensional
+// surface).
+type Torus = topology.Torus
+
+// NewTorus2D returns the paper's sqrt(A) x sqrt(A) two-dimensional
+// torus with the given side length.
+func NewTorus2D(side int64) (*Torus, error) { return topology.NewTorus(2, side) }
+
+// NewTorus returns a k-dimensional torus.
+func NewTorus(dims int, side int64) (*Torus, error) { return topology.NewTorus(dims, side) }
+
+// NewRing returns the cycle on n nodes.
+func NewRing(n int64) (*Torus, error) { return topology.NewRing(n) }
+
+// NewHypercube returns the k-dimensional Boolean hypercube (Section
+// 4.5).
+func NewHypercube(bits int) (*topology.Hypercube, error) { return topology.NewHypercube(bits) }
+
+// NewComplete returns the complete graph on n nodes — the paper's
+// fast-mixing baseline.
+func NewComplete(n int64) (*topology.Complete, error) { return topology.NewComplete(n) }
+
+// NewRandomRegular samples a random d-regular expander on n nodes
+// (Section 4.4) using randomness from the given seed.
+func NewRandomRegular(n int64, d int, seed uint64) (*topology.Adj, error) {
+	return topology.NewRandomRegular(n, d, rng.New(seed))
+}
+
+// World is the synchronous multi-agent simulation of the paper's
+// Section 2 model.
+type World = sim.World
+
+// WorldConfig configures a World.
+type WorldConfig = sim.Config
+
+// NewWorld creates a simulation world; see WorldConfig for the knobs
+// (graph, agent count, seed, placement, movement policy).
+func NewWorld(cfg WorldConfig) (*World, error) { return sim.NewWorld(cfg) }
+
+// EstimatorOption configures the estimators (noisy sensing, tagged
+// counting); see WithNoise and WithTaggedOnly.
+type EstimatorOption = core.Option
+
+// WithNoise models imperfect collision sensing (Section 6.1).
+func WithNoise(detectProb, spuriousProb float64, seed uint64) EstimatorOption {
+	return core.WithNoise(detectProb, spuriousProb, seed)
+}
+
+// WithTaggedOnly counts only collisions with tagged agents,
+// estimating a property density d_P (Section 5.2).
+func WithTaggedOnly() EstimatorOption { return core.WithTaggedOnly() }
+
+// EstimateDensity runs the paper's Algorithm 1 for t rounds on w and
+// returns each agent's density estimate c/t. Theorem 1 bounds the
+// error on the two-dimensional torus.
+func EstimateDensity(w *World, t int, opts ...EstimatorOption) ([]float64, error) {
+	return core.Algorithm1(w, t, opts...)
+}
+
+// EstimateDensityIndependent runs the Appendix A independent-sampling
+// baseline (Algorithm 4).
+func EstimateDensityIndependent(w *World, t int, seed uint64) ([]float64, error) {
+	return core.Algorithm4(w, t, seed)
+}
+
+// PropertyResult is the per-agent output of EstimatePropertyFrequency.
+type PropertyResult = core.PropertyResult
+
+// EstimatePropertyFrequency implements the Section 5.2 swarm
+// computation of relative property frequency f_P = d_P/d. Tag agents
+// with w.SetTagged first.
+func EstimatePropertyFrequency(w *World, t int, opts ...EstimatorOption) (*PropertyResult, error) {
+	return core.PropertyFrequency(w, t, opts...)
+}
+
+// StreamingEstimator is an incremental Algorithm 1 with anytime
+// confidence intervals and threshold decisions (Section 6.2).
+type StreamingEstimator = core.StreamingEstimator
+
+// NewStreamingEstimator returns a streaming estimator; c1 is the
+// Theorem 1 constant used for its confidence bands (0.35 matches the
+// repository's empirical calibration; larger is more conservative).
+func NewStreamingEstimator(c1 float64) (*StreamingEstimator, error) {
+	return core.NewStreamingEstimator(c1)
+}
+
+// RequiredRounds returns Theorem 1's sufficient round count for a
+// (1 +- eps) density estimate with probability 1-delta at density d
+// on the two-dimensional torus, with the universal constant set to
+// c2.
+func RequiredRounds(eps, delta, d, c2 float64) int {
+	return core.TheoremOneRounds(eps, delta, d, c2)
+}
+
+// QuorumDecide has each agent of w vote on whether the density
+// reaches threshold after t rounds of encounter counting (Section
+// 6.2).
+func QuorumDecide(w *World, threshold float64, t int) ([]bool, error) {
+	return quorum.Decide(w, threshold, t)
+}
+
+// NetworkSizeConfig configures EstimateNetworkSize.
+type NetworkSizeConfig = netsize.Config
+
+// NetworkSizeResult is the output of EstimateNetworkSize.
+type NetworkSizeResult = netsize.Result
+
+// EstimateNetworkSize runs the Section 5.1 pipeline on g: burn-in,
+// average-degree estimation (Algorithm 3), then multi-round
+// degree-weighted collision counting (Algorithm 2, Theorem 27).
+func EstimateNetworkSize(g Graph, cfg NetworkSizeConfig) (*NetworkSizeResult, error) {
+	return netsize.Estimate(g, cfg)
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"antdensity/internal/expfmt"
+	"antdensity/internal/quorum"
+	"antdensity/internal/rng"
+	"antdensity/internal/sensors"
+	"antdensity/internal/sim"
+	"antdensity/internal/tasks"
+	"antdensity/internal/topology"
+)
+
+// cmdQuorum runs a quorum-sensing decision: agents at the given
+// density vote on whether it exceeds the threshold.
+func cmdQuorum(args []string) error {
+	fs := flag.NewFlagSet("quorum", flag.ContinueOnError)
+	side := fs.Int64("side", 20, "torus side length")
+	agents := fs.Int("agents", 41, "number of agents")
+	threshold := fs.Float64("threshold", 0.1, "quorum density threshold theta")
+	eps := fs.Float64("eps", 0.25, "detection margin")
+	delta := fs.Float64("delta", 0.05, "failure probability")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t := quorum.DetectionRounds(*threshold, *eps, *delta, 0.05)
+	g, err := topology.NewTorus(2, *side)
+	if err != nil {
+		return err
+	}
+	w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: *agents, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	votes, err := quorum.Decide(w, *threshold, t)
+	if err != nil {
+		return err
+	}
+	tb := expfmt.NewTable("quantity", "value")
+	tb.AddRow("true density d", w.Density())
+	tb.AddRow("threshold theta", *threshold)
+	tb.AddRow("detection rounds t (theta-sized)", t)
+	tb.AddRow("fraction voting quorum", quorum.VoteFraction(votes))
+	tb.AddRow("majority verdict", quorum.MajorityVote(votes))
+	return tb.Render(os.Stdout)
+}
+
+// cmdAllocate runs the task-allocation dynamic and prints the
+// trajectory.
+func cmdAllocate(args []string) error {
+	fs := flag.NewFlagSet("allocate", flag.ContinueOnError)
+	agents := fs.Int("agents", 240, "number of agents")
+	epochs := fs.Int("epochs", 30, "estimate/switch epochs")
+	rounds := fs.Int("rounds", 100, "random-walk rounds per epoch")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g := topology.MustTorus(2, 16)
+	w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: *agents, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	cfg := tasks.Config{
+		Targets:        []float64{0.5, 0.3, 0.2},
+		Epochs:         *epochs,
+		RoundsPerEpoch: *rounds,
+		Seed:           *seed + 1,
+	}
+	res, err := tasks.Run(w, cfg)
+	if err != nil {
+		return err
+	}
+	tb := expfmt.NewTable("epoch", "task1 (goal 0.5)", "task2 (goal 0.3)", "task3 (goal 0.2)")
+	for e, alloc := range res.History {
+		tb.AddRow(e, alloc[0], alloc[1], alloc[2])
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("final L1 distance to target: %.4f (%d switches)\n", res.FinalL1, res.Switches)
+	return nil
+}
+
+// cmdSensors compares token sampling against independent sampling.
+func cmdSensors(args []string) error {
+	fs := flag.NewFlagSet("sensors", flag.ContinueOnError)
+	side := fs.Int64("side", 64, "torus side length")
+	steps := fs.Int("steps", 256, "token walk length")
+	trials := fs.Int("trials", 4000, "Monte Carlo trials")
+	p := fs.Float64("p", 0.5, "Bernoulli field rate")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := topology.NewTorus(2, *side)
+	if err != nil {
+		return err
+	}
+	f := sensors.BernoulliField(*p, *seed+77)
+	cmp := sensors.CompareRMSE(g, f, *steps, *trials, rng.New(*seed))
+	tb := expfmt.NewTable("quantity", "value")
+	tb.AddRow("field mean (exact)", sensors.FieldMean(g, f))
+	tb.AddRow("token RMSE", cmp.TokenRMSE)
+	tb.AddRow("independent RMSE", cmp.IndependentRMSE)
+	tb.AddRow("inflation (token/indep)", cmp.Inflation)
+	return tb.Render(os.Stdout)
+}

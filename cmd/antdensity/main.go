@@ -1,0 +1,248 @@
+// Command antdensity is the reproduction driver: it lists and runs
+// the paper's experiments, and exposes the estimators directly for
+// ad-hoc exploration.
+//
+// Usage:
+//
+//	antdensity list
+//	antdensity run [-seed N] [-quick] <exp-id>|all
+//	antdensity estimate [-dims K] [-side L] [-agents N] [-rounds T] [-seed N]
+//	antdensity netsize  [-graph ba|er|ws|torus3] [-nodes N] [-walkers W] [-steps T] [-seed N]
+//	antdensity walk     [-topo torus2d|ring|torus3d|hypercube] [-steps M] [-trials K] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"antdensity/internal/core"
+	"antdensity/internal/experiments"
+	"antdensity/internal/expfmt"
+	"antdensity/internal/netsize"
+	"antdensity/internal/rng"
+	"antdensity/internal/sim"
+	"antdensity/internal/socialnet"
+	"antdensity/internal/stats"
+	"antdensity/internal/topology"
+	"antdensity/internal/walk"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "antdensity:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		return cmdList()
+	case "run":
+		return cmdRun(args[1:])
+	case "estimate":
+		return cmdEstimate(args[1:])
+	case "netsize":
+		return cmdNetsize(args[1:])
+	case "walk":
+		return cmdWalk(args[1:])
+	case "quorum":
+		return cmdQuorum(args[1:])
+	case "allocate":
+		return cmdAllocate(args[1:])
+	case "sensors":
+		return cmdSensors(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  antdensity list                          list registered experiments
+  antdensity run [flags] <exp-id>|all      run reproduction experiments
+  antdensity estimate [flags]              run Algorithm 1 on a torus
+  antdensity netsize [flags]               estimate a synthetic network's size
+  antdensity walk [flags]                  measure re-collision curves
+  antdensity quorum [flags]                quorum-sensing decision (Sec. 6.2)
+  antdensity allocate [flags]              task-allocation dynamic (Sec. 1)
+  antdensity sensors [flags]               token vs independent sensor sampling`)
+}
+
+func cmdList() error {
+	tb := expfmt.NewTable("id", "title", "claim")
+	for _, e := range experiments.All() {
+		tb.AddRow(e.ID, e.Title, e.Claim)
+	}
+	return tb.Render(os.Stdout)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "random seed")
+	quick := fs.Bool("quick", false, "reduced trial counts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("run: need an experiment id or 'all'")
+	}
+	var selected []experiments.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range ids {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("run: unknown experiment %q (try 'antdensity list')", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s\n    %s\n", e.ID, e.Title, e.Claim)
+		if _, err := e.Run(experiments.Params{Seed: *seed, Quick: *quick, Out: os.Stdout}); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ContinueOnError)
+	dims := fs.Int("dims", 2, "torus dimensions")
+	side := fs.Int64("side", 100, "torus side length")
+	agents := fs.Int("agents", 1001, "number of agents")
+	rounds := fs.Int("rounds", 1000, "rounds of Algorithm 1")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := topology.NewTorus(*dims, *side)
+	if err != nil {
+		return err
+	}
+	w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: *agents, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	ests, err := core.Algorithm1(w, *rounds)
+	if err != nil {
+		return err
+	}
+	d := w.Density()
+	sum := stats.Summarize(ests)
+	tb := expfmt.NewTable("quantity", "value")
+	tb.AddRow("true density d", d)
+	tb.AddRow("agents", *agents)
+	tb.AddRow("rounds t", *rounds)
+	tb.AddRow("mean estimate", sum.Mean)
+	tb.AddRow("median estimate", sum.Median)
+	tb.AddRow("std", sum.StdDev)
+	tb.AddRow("mean |rel err|", stats.Mean(stats.RelErrors(ests, d)))
+	tb.AddRow("Thm 1 eps (c1=0.35, delta=0.05)", core.TheoremOneEpsilon(*rounds, d, 0.05, 0.35))
+	return tb.Render(os.Stdout)
+}
+
+func cmdNetsize(args []string) error {
+	fs := flag.NewFlagSet("netsize", flag.ContinueOnError)
+	kind := fs.String("graph", "ba", "graph family: ba, er, ws, torus3")
+	nodes := fs.Int64("nodes", 5000, "node count")
+	walkers := fs.Int("walkers", 80, "number of random walks")
+	steps := fs.Int("steps", 200, "collision-counting rounds")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := rng.New(*seed)
+	var g topology.Graph
+	var err error
+	switch *kind {
+	case "ba":
+		g, err = socialnet.BarabasiAlbert(*nodes, 3, s)
+	case "er":
+		var adj *topology.Adj
+		adj, err = socialnet.ErdosRenyi(*nodes, 8/float64(*nodes), s)
+		if err == nil {
+			g = socialnet.Connected(adj)
+		}
+	case "ws":
+		g, err = socialnet.WattsStrogatz(*nodes, 3, 0.1, s)
+	case "torus3":
+		sideLen := int64(1)
+		for sideLen*sideLen*sideLen < *nodes {
+			sideLen++
+		}
+		if sideLen%2 == 0 {
+			sideLen++ // odd side keeps the torus non-bipartite
+		}
+		g, err = topology.NewTorus(3, sideLen)
+	default:
+		return fmt.Errorf("netsize: unknown graph family %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	res, err := netsize.Estimate(g, netsize.Config{
+		Walkers: *walkers, Steps: *steps, BurnIn: -1, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	tb := expfmt.NewTable("quantity", "value")
+	tb.AddRow("graph", *kind)
+	tb.AddRow("true |V|", g.NumNodes())
+	tb.AddRow("estimated |V|", res.Size)
+	tb.AddRow("walkers", *walkers)
+	tb.AddRow("steps", *steps)
+	tb.AddRow("link queries", res.Queries)
+	tb.AddRow("1/degAvg estimate", res.InvAvgDegree)
+	return tb.Render(os.Stdout)
+}
+
+func cmdWalk(args []string) error {
+	fs := flag.NewFlagSet("walk", flag.ContinueOnError)
+	topo := fs.String("topo", "torus2d", "topology: torus2d, ring, torus3d, hypercube")
+	steps := fs.Int("steps", 128, "maximum step count m")
+	trials := fs.Int("trials", 50000, "Monte Carlo trials")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g topology.Graph
+	switch *topo {
+	case "torus2d":
+		g = topology.MustTorus(2, 1024)
+	case "ring":
+		var err error
+		g, err = topology.NewRing(1 << 20)
+		if err != nil {
+			return err
+		}
+	case "torus3d":
+		g = topology.MustTorus(3, 101)
+	case "hypercube":
+		g = topology.MustHypercube(16)
+	default:
+		return fmt.Errorf("walk: unknown topology %q", *topo)
+	}
+	s := rng.New(*seed)
+	curve := walk.RecollisionCurve(g, 0, *steps, *trials, s)
+	bt := walk.SumCurve(curve)
+	tb := expfmt.NewTable("m", "P[re-collision]", "m*P", "B(m)")
+	for m := 1; m <= *steps; m *= 2 {
+		tb.AddRow(m, curve[m], float64(m)*curve[m], bt[m])
+	}
+	return tb.Render(os.Stdout)
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout for the duration of fn and
+// returns everything written.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	// Drain any remainder.
+	for {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil || n == len(buf) {
+			break
+		}
+	}
+	return string(buf[:n]), runErr
+}
+
+func TestRunDispatchErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "no args", args: nil},
+		{name: "unknown subcommand", args: []string{"frobnicate"}},
+		{name: "run without id", args: []string{"run"}},
+		{name: "run unknown id", args: []string{"run", "E99"}},
+		{name: "netsize bad graph", args: []string{"netsize", "-graph", "nope", "-nodes", "50"}},
+		{name: "walk bad topo", args: []string{"walk", "-topo", "nope"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := captureStdout(t, func() error { return run(tt.args) }); err == nil {
+				t.Errorf("run(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}
+
+func TestCmdList(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E01", "E11", "E22"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestCmdHelp(t *testing.T) {
+	if _, err := captureStdout(t, func() error { return run([]string{"help"}) }); err != nil {
+		t.Errorf("help returned error: %v", err)
+	}
+}
+
+func TestCmdRunQuick(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"run", "-quick", "-seed", "3", "E01"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E01") || !strings.Contains(out, "bias ratio") {
+		t.Errorf("run E01 output unexpected:\n%s", out)
+	}
+}
+
+func TestCmdEstimate(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"estimate", "-side", "30", "-agents", "91", "-rounds", "200", "-seed", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "true density d") || !strings.Contains(out, "mean estimate") {
+		t.Errorf("estimate output unexpected:\n%s", out)
+	}
+}
+
+func TestCmdWalk(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"walk", "-topo", "torus2d", "-steps", "16", "-trials", "2000"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "P[re-collision]") {
+		t.Errorf("walk output unexpected:\n%s", out)
+	}
+}
+
+func TestCmdNetsizeTorus(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"netsize", "-graph", "torus3", "-nodes", "300", "-walkers", "20", "-steps", "40", "-seed", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "estimated |V|") {
+		t.Errorf("netsize output unexpected:\n%s", out)
+	}
+}
+
+func TestCmdQuorum(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"quorum", "-side", "15", "-agents", "46", "-threshold", "0.1", "-eps", "0.5", "-delta", "0.2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "majority verdict") {
+		t.Errorf("quorum output unexpected:\n%s", out)
+	}
+}
+
+func TestCmdAllocate(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"allocate", "-agents", "60", "-epochs", "3", "-rounds", "20"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "final L1") {
+		t.Errorf("allocate output unexpected:\n%s", out)
+	}
+}
+
+func TestCmdSensors(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"sensors", "-side", "32", "-steps", "64", "-trials", "500"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "inflation") {
+		t.Errorf("sensors output unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,24 @@
+// Package antdensity reproduces "Ant-Inspired Density Estimation via
+// Random Walks" (Musco, Su, Lynch; PODC 2016 / PNAS 2017). Anonymous
+// agents random-walking on a graph estimate their population density
+// from encounter rates alone; this module implements the paper's
+// model, algorithms, analysis experiments, and applications.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — Algorithm 1 (encounter-rate estimation),
+//     Algorithm 4 (independent-sampling baseline), property-frequency
+//     estimation, and the paper's closed-form bounds.
+//   - internal/sim — the synchronous multi-agent model of Section 2.
+//   - internal/topology — tori, rings, hypercubes, complete graphs,
+//     random regular expanders, adjacency graphs, spectral tools.
+//   - internal/walk — re-collision / equalization measurements.
+//   - internal/netsize, internal/socialnet — the Section 5.1
+//     network-size application and its synthetic networks.
+//   - internal/experiments — one registered experiment per paper
+//     claim; see DESIGN.md for the index and EXPERIMENTS.md for
+//     paper-vs-measured results.
+//
+// The benchmarks in bench_test.go regenerate every experiment table;
+// the cmd/antdensity CLI runs them interactively.
+package antdensity

@@ -1,0 +1,125 @@
+// Househunt: quorum sensing during nest-site selection (paper
+// Sections 1 and 6.2, after Pratt's Temnothorax studies [Pra05]).
+//
+// Scout ants assess two candidate nest sites. Site A has attracted a
+// population above the quorum threshold; site B has not. Each scout
+// estimates the density at its site purely from encounter rates
+// (Algorithm 1) and votes on whether quorum is reached; the colony
+// decision is the majority of scout votes. Per Section 6.2, scouts
+// size their observation window from the quorum threshold theta — the
+// one quantity they know a priori — rather than from the unknown
+// density.
+//
+// The example also runs the streaming hysteresis detector: a single
+// scout watching the site as its population grows, committing only
+// when its running estimate crosses the threshold.
+//
+// Run with:
+//
+//	go run ./examples/househunt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"antdensity/internal/quorum"
+	"antdensity/internal/sim"
+	"antdensity/internal/topology"
+)
+
+const (
+	nestSide  = 15   // each nest cavity is a 15x15 torus patch
+	threshold = 0.15 // quorum density theta
+	eps       = 0.4  // detection margin
+	delta     = 0.05 // failure probability
+	scouts    = 12   // voting scouts per site
+)
+
+func main() {
+	t := quorum.DetectionRounds(threshold, eps, delta, 0.02)
+	fmt.Printf("quorum threshold theta = %.2f; detection window t = %d rounds (sized from theta alone)\n\n", threshold, t)
+
+	// Site A: population density ~2.3*theta — above quorum.
+	assess("site A (busy)", 68, t)
+	// Site B: population density ~0.7*theta — below quorum.
+	assess("site B (quiet)", 12, t)
+
+	fmt.Println()
+	streamingScout()
+}
+
+// assess simulates one nest site with the given number of resident
+// ants plus voting scouts, and prints the colony decision.
+func assess(name string, residents, t int) {
+	nest := topology.MustTorus(2, nestSide)
+	w, err := sim.NewWorld(sim.Config{
+		Graph:     nest,
+		NumAgents: residents + scouts,
+		Seed:      uint64(len(name)) * 7919,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	votes, err := quorum.Decide(w, threshold, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Only the scouts (the last `scouts` agents) vote.
+	scoutVotes := votes[residents:]
+	d := w.Density()
+	fmt.Printf("%s: density %.3f (%.1fx theta) -> %d/%d scouts vote quorum; verdict: %v\n",
+		name, d, d/threshold, countTrue(scoutVotes), scouts, quorum.MajorityVote(scoutVotes))
+}
+
+// streamingScout shows the hysteresis detector following a site whose
+// population doubles halfway through the watch.
+func streamingScout() {
+	fmt.Println("streaming scout with hysteresis (enter 0.15, exit 0.10):")
+	nest := topology.MustTorus(2, nestSide)
+	det, err := quorum.NewDetector(threshold, 0.10, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: quiet site (density ~ 0.07).
+	w1, err := sim.NewWorld(sim.Config{Graph: nest, NumAgents: 17, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r := 0; r < 600; r++ {
+		w1.Step()
+		det.Observe(w1.Count(0))
+	}
+	fmt.Printf("  after 600 quiet rounds:  estimate %.3f, in quorum: %v\n", det.Estimate(), det.InQuorum())
+
+	// Phase 2: recruitment triples the population (density ~ 0.24).
+	// The detector keeps its accumulated counts — its estimate climbs
+	// as new, denser rounds arrive.
+	w2, err := sim.NewWorld(sim.Config{Graph: nest, NumAgents: 55, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	crossed := -1
+	for r := 0; r < 3000; r++ {
+		w2.Step()
+		if det.Observe(w2.Count(0)) && crossed < 0 {
+			crossed = r
+		}
+	}
+	fmt.Printf("  after recruitment phase: estimate %.3f, in quorum: %v", det.Estimate(), det.InQuorum())
+	if crossed >= 0 {
+		fmt.Printf(" (committed %d rounds in)", crossed)
+	}
+	fmt.Println()
+}
+
+func countTrue(votes []bool) int {
+	n := 0
+	for _, v := range votes {
+		if v {
+			n++
+		}
+	}
+	return n
+}

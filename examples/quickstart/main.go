@@ -1,0 +1,56 @@
+// Quickstart: estimate population density on a two-dimensional torus
+// with the paper's Algorithm 1.
+//
+// A colony of 2001 agents random-walks on a 200x200 torus (density
+// d = 2000/40000 = 0.05). Each agent counts collisions for t rounds
+// and reports c/t. We compare the agents' estimates with the true
+// density and with Theorem 1's predicted accuracy.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"antdensity/internal/core"
+	"antdensity/internal/sim"
+	"antdensity/internal/stats"
+	"antdensity/internal/topology"
+)
+
+func main() {
+	grid := topology.MustTorus(2, 200)
+	world, err := sim.NewWorld(sim.Config{
+		Graph:     grid,
+		NumAgents: 2001,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const rounds = 2000
+	estimates, err := core.Algorithm1(world, rounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d := world.Density()
+	summary := stats.Summarize(estimates)
+	fmt.Printf("true density d:        %.5f\n", d)
+	fmt.Printf("rounds t:              %d\n", rounds)
+	fmt.Printf("mean agent estimate:   %.5f\n", summary.Mean)
+	fmt.Printf("median agent estimate: %.5f\n", summary.Median)
+	fmt.Printf("estimate std:          %.5f\n", summary.StdDev)
+
+	// Theorem 1: with probability 1-delta each agent is within
+	// (1 +- eps) of d for eps ~ sqrt(log(1/delta)/(t d)) log 2t.
+	const delta = 0.05
+	eps := core.TheoremOneEpsilon(rounds, d, delta, 0.35)
+	fails := stats.FailureRate(estimates, d, eps)
+	fmt.Printf("Theorem 1 eps:         %.3f (c1 = 0.35, delta = %.2f)\n", eps, delta)
+	fmt.Printf("agents outside band:   %.1f%% (paper predicts <= %.0f%%)\n", 100*fails, 100*delta)
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"antdensity/internal/rng"
+	"antdensity/internal/sim"
+)
+
+// Algorithm4 implements the independent-sampling-based density
+// estimation of Appendix A. Each agent independently becomes
+// "walking" with probability 1/2 (taking the deterministic (0,1) step
+// every round) or "stationary" (never moving). After t rounds of
+// accumulating count(position), each agent reduces its count modulo t
+// — exactly canceling the t spurious collisions contributed by each
+// lock-stepped walking agent that started on the same square — and
+// returns 2c/t.
+//
+// Theorem 32 guarantees a (1 +- eps) estimate with probability
+// 1-delta after t = Theta(log(1/delta)/(d*eps^2)) rounds, provided
+// t < sqrt(A) and d <= 1.
+//
+// Algorithm4 overrides every agent's movement policy in w; seed
+// drives the walking/stationary coin flips. It returns per-agent
+// estimates.
+func Algorithm4(w *sim.World, t int, seed uint64) ([]float64, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("core: round count must be >= 1, got %d", t)
+	}
+	n := w.NumAgents()
+	coins := rng.New(seed)
+	for i := 0; i < n; i++ {
+		if coins.Bernoulli(0.5) {
+			w.SetPolicy(i, sim.Drift{Direction: 0})
+		} else {
+			w.SetPolicy(i, sim.Stationary{})
+		}
+	}
+	counts := make([]int64, n)
+	for r := 0; r < t; r++ {
+		w.Step()
+		for i := 0; i < n; i++ {
+			counts[i] += int64(w.Count(i))
+		}
+	}
+	estimates := make([]float64, n)
+	for i, c := range counts {
+		c %= int64(t)
+		estimates[i] = 2 * float64(c) / float64(t)
+	}
+	return estimates, nil
+}

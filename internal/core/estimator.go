@@ -1,0 +1,206 @@
+// Package core implements the paper's primary contribution: density
+// estimation from random-walk encounter rates.
+//
+// Algorithm1 is the paper's random-walk-based estimator (Section 3):
+// each agent random-walks for t rounds, sums count(position) over the
+// rounds, and returns the encounter rate c/t as its density estimate.
+// Theorem 1 guarantees a (1 +- eps) estimate with probability 1-delta
+// on the two-dimensional torus after t = O(log(1/delta) *
+// [log log(1/delta) + log(1/(d*eps))]^2 / (d*eps^2)) rounds.
+//
+// Algorithm4 is the independent-sampling baseline of Appendix A, and
+// PropertyFrequency is the Section 5.2 robot-swarm extension that
+// estimates the relative frequency of a detectable property. The
+// theory.go file provides the closed-form bound calculators used by
+// the experiment harness to compare measured behaviour against the
+// paper's predictions.
+package core
+
+import (
+	"fmt"
+
+	"antdensity/internal/rng"
+	"antdensity/internal/sim"
+)
+
+// options collects optional behaviour for the estimators.
+type options struct {
+	taggedOnly   bool
+	detectProb   float64
+	spuriousProb float64
+	noiseSeed    uint64
+	noisy        bool
+}
+
+func defaultOptions() options {
+	return options{detectProb: 1}
+}
+
+// Option configures an estimator run.
+type Option func(*options) error
+
+// WithTaggedOnly restricts collision counting to tagged agents,
+// estimating the property density d_P of Section 5.2 instead of the
+// total density d.
+func WithTaggedOnly() Option {
+	return func(o *options) error {
+		o.taggedOnly = true
+		return nil
+	}
+}
+
+// WithNoise models imperfect collision sensing (Section 6.1): each
+// true collision is detected independently with probability
+// detectProb, and in each round a spurious collision is recorded with
+// probability spuriousProb. seed drives the noise randomness.
+func WithNoise(detectProb, spuriousProb float64, seed uint64) Option {
+	return func(o *options) error {
+		if detectProb < 0 || detectProb > 1 {
+			return fmt.Errorf("core: detectProb %v outside [0, 1]", detectProb)
+		}
+		if spuriousProb < 0 || spuriousProb > 1 {
+			return fmt.Errorf("core: spuriousProb %v outside [0, 1]", spuriousProb)
+		}
+		o.detectProb = detectProb
+		o.spuriousProb = spuriousProb
+		o.noiseSeed = seed
+		o.noisy = true
+		return nil
+	}
+}
+
+// CollisionCounts advances w by t rounds and returns each agent's
+// total collision count sum_r count(position_r) — the quantity c
+// maintained by Algorithm 1.
+func CollisionCounts(w *sim.World, t int, opts ...Option) ([]int64, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("core: round count must be >= 1, got %d", t)
+	}
+	n := w.NumAgents()
+	counts := make([]int64, n)
+	var noise *rng.Stream
+	if o.noisy {
+		noise = rng.New(o.noiseSeed)
+	}
+	for r := 0; r < t; r++ {
+		w.Step()
+		for i := 0; i < n; i++ {
+			var c int
+			if o.taggedOnly {
+				c = w.CountTagged(i)
+			} else {
+				c = w.Count(i)
+			}
+			if o.noisy {
+				c = perturb(c, o, noise)
+			}
+			counts[i] += int64(c)
+		}
+	}
+	return counts, nil
+}
+
+// perturb applies the WithNoise sensing model to one round's count.
+func perturb(c int, o options, noise *rng.Stream) int {
+	detected := 0
+	if o.detectProb >= 1 {
+		detected = c
+	} else {
+		for k := 0; k < c; k++ {
+			if noise.Bernoulli(o.detectProb) {
+				detected++
+			}
+		}
+	}
+	if o.spuriousProb > 0 && noise.Bernoulli(o.spuriousProb) {
+		detected++
+	}
+	return detected
+}
+
+// Algorithm1 runs the paper's random-walk-based density estimation
+// (Algorithm 1) for t rounds on w and returns each agent's density
+// estimate c/t. The world's agents should use the sim.RandomWalk
+// policy (the default) for the Theorem 1 guarantees to apply; other
+// policies realize the Section 6.1 perturbation ablations.
+func Algorithm1(w *sim.World, t int, opts ...Option) ([]float64, error) {
+	counts, err := CollisionCounts(w, t, opts...)
+	if err != nil {
+		return nil, err
+	}
+	estimates := make([]float64, len(counts))
+	for i, c := range counts {
+		estimates[i] = float64(c) / float64(t)
+	}
+	return estimates, nil
+}
+
+// PropertyResult holds the per-agent outputs of PropertyFrequency.
+type PropertyResult struct {
+	// Density is each agent's estimate of the overall density d.
+	Density []float64
+	// PropertyDensity is each agent's estimate of the property
+	// density d_P.
+	PropertyDensity []float64
+	// Frequency is each agent's estimate of f_P = d_P / d; NaN where
+	// the density estimate is zero.
+	Frequency []float64
+}
+
+// PropertyFrequency implements the Section 5.2 swarm computation: each
+// agent simultaneously tracks total encounters and encounters with
+// tagged agents over t rounds, estimating the overall density d, the
+// property density d_P, and the relative frequency f_P = d_P/d.
+// Tag agents with w.SetTagged before calling.
+func PropertyFrequency(w *sim.World, t int, opts ...Option) (*PropertyResult, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("core: round count must be >= 1, got %d", t)
+	}
+	n := w.NumAgents()
+	total := make([]int64, n)
+	tagged := make([]int64, n)
+	var noise *rng.Stream
+	if o.noisy {
+		noise = rng.New(o.noiseSeed)
+	}
+	for r := 0; r < t; r++ {
+		w.Step()
+		for i := 0; i < n; i++ {
+			ct := w.Count(i)
+			cp := w.CountTagged(i)
+			if o.noisy {
+				// Perturb the non-tagged and tagged components
+				// separately so the two counters see consistent noise.
+				other := perturb(ct-cp, o, noise)
+				prop := perturb(cp, o, noise)
+				ct = other + prop
+				cp = prop
+			}
+			total[i] += int64(ct)
+			tagged[i] += int64(cp)
+		}
+	}
+	res := &PropertyResult{
+		Density:         make([]float64, n),
+		PropertyDensity: make([]float64, n),
+		Frequency:       make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Density[i] = float64(total[i]) / float64(t)
+		res.PropertyDensity[i] = float64(tagged[i]) / float64(t)
+		res.Frequency[i] = res.PropertyDensity[i] / res.Density[i]
+	}
+	return res, nil
+}

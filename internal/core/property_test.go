@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"antdensity/internal/sim"
+	"antdensity/internal/topology"
+)
+
+// Property and invariant tests on the estimators.
+
+func TestCollisionTotalsEvenPerRound(t *testing.T) {
+	// Invariant: in any round, the sum over agents of count(position)
+	// is even — every colliding pair is counted once by each member
+	// (sum over cells of occ*(occ-1), always even).
+	g := topology.MustTorus(2, 4)
+	w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 25, Seed: 1})
+	for r := 0; r < 30; r++ {
+		w.Step()
+		total := 0
+		for i := 0; i < w.NumAgents(); i++ {
+			total += w.Count(i)
+		}
+		if total%2 != 0 {
+			t.Fatalf("round %d: total collision count %d is odd", r, total)
+		}
+	}
+}
+
+func TestAlgorithm1OutputsQuick(t *testing.T) {
+	// Properties: one estimate per agent; all non-negative; all
+	// bounded by numAgents (can't see more others than exist).
+	f := func(agentSel, tSel, seed uint8) bool {
+		agents := int(agentSel%30) + 1
+		rounds := int(tSel%20) + 1
+		g := topology.MustTorus(2, 6)
+		w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		ests, err := Algorithm1(w, rounds)
+		if err != nil {
+			return false
+		}
+		if len(ests) != agents {
+			return false
+		}
+		for _, e := range ests {
+			if e < 0 || e > float64(agents-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgorithm1DeterministicPerSeed(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	run := func() []float64 {
+		w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 15, Seed: 77})
+		ests, err := Algorithm1(w, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ests
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("agent %d estimates differ across identical runs", i)
+		}
+	}
+}
+
+func TestNoiseDeterministicPerSeed(t *testing.T) {
+	g := topology.MustTorus(2, 8)
+	run := func(noiseSeed uint64) []float64 {
+		w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 20, Seed: 5})
+		ests, err := Algorithm1(w, 100, WithNoise(0.5, 0.1, noiseSeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ests
+	}
+	a, b := run(9), run(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("agent %d noisy estimates differ for equal noise seed", i)
+		}
+	}
+	// Different noise seeds should usually differ somewhere.
+	c := run(10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("noise seed had no effect")
+	}
+}
+
+func TestTheoremOneRoundsMonotoneQuick(t *testing.T) {
+	// Property: rounds are non-increasing in eps, delta, and d.
+	f := func(e1, e2, d1, d2, dens1, dens2 uint8) bool {
+		eps1 := 0.05 + float64(e1%90)/100
+		eps2 := 0.05 + float64(e2%90)/100
+		if eps1 > eps2 {
+			eps1, eps2 = eps2, eps1
+		}
+		del := 0.05 + float64(d1%80)/100
+		dn := 0.01 + float64(dens1%90)/100
+		// larger eps => fewer rounds
+		if TheoremOneRounds(eps2, del, dn, 1) > TheoremOneRounds(eps1, del, dn, 1) {
+			return false
+		}
+		// larger density => fewer rounds
+		dn2 := dn + 0.005
+		return TheoremOneRounds(eps1, del, dn2, 1) <= TheoremOneRounds(eps1, del, dn, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFrequencySumsQuick(t *testing.T) {
+	// Property: tagged count never exceeds total count, so
+	// PropertyDensity <= Density per agent, regardless of tagging.
+	f := func(agentSel, tagSel, seed uint8) bool {
+		agents := int(agentSel%20) + 2
+		tagCount := int(tagSel) % agents
+		g := topology.MustTorus(2, 5)
+		w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: uint64(seed) + 1000})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tagCount; i++ {
+			w.SetTagged(i, true)
+		}
+		res, err := PropertyFrequency(w, 20)
+		if err != nil {
+			return false
+		}
+		for i := range res.Density {
+			if res.PropertyDensity[i] > res.Density[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllAgentsUnionBound(t *testing.T) {
+	// The remark after Theorem 1: with delta' = n*delta, *all* n
+	// agents are simultaneously within (1 +- eps) with probability
+	// 1 - delta'. Verify at a forgiving eps.
+	g := topology.MustTorus(2, 16)
+	const agents = 33
+	failures := 0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		w := sim.MustWorld(sim.Config{Graph: g, NumAgents: agents, Seed: uint64(900 + trial)})
+		ests, err := Algorithm1(w, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := w.Density()
+		for _, e := range ests {
+			if e < 0.4*d || e > 1.6*d {
+				failures++
+				break
+			}
+		}
+	}
+	if failures > 1 {
+		t.Errorf("all-agent band violated in %d/%d trials", failures, trials)
+	}
+}

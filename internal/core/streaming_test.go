@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"antdensity/internal/sim"
+	"antdensity/internal/topology"
+)
+
+func TestNewStreamingEstimatorValidation(t *testing.T) {
+	if _, err := NewStreamingEstimator(0); err == nil {
+		t.Error("c1=0 accepted")
+	}
+	if _, err := NewStreamingEstimator(-1); err == nil {
+		t.Error("negative c1 accepted")
+	}
+}
+
+func TestStreamingEstimateMatchesBatch(t *testing.T) {
+	// Feeding the same counts must reproduce Algorithm 1's estimate.
+	g := topology.MustTorus(2, 12)
+	w1 := sim.MustWorld(sim.Config{Graph: g, NumAgents: 20, Seed: 3})
+	w2 := sim.MustWorld(sim.Config{Graph: g, NumAgents: 20, Seed: 3})
+	const rounds = 300
+	est, err := NewStreamingEstimator(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		w1.Step()
+		est.Observe(w1.Count(0))
+	}
+	batch, err := Algorithm1(w2, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Estimate()-batch[0]) > 1e-12 {
+		t.Errorf("streaming %v != batch %v", est.Estimate(), batch[0])
+	}
+	if est.Rounds() != rounds {
+		t.Errorf("Rounds = %d, want %d", est.Rounds(), rounds)
+	}
+}
+
+func TestStreamingIntervalShrinks(t *testing.T) {
+	g := topology.MustTorus(2, 16)
+	w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 40, Seed: 5})
+	est, err := NewStreamingEstimator(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var half500, half4000 float64
+	for r := 1; r <= 4000; r++ {
+		w.Step()
+		est.Observe(w.Count(0))
+		if r == 500 {
+			_, half500 = est.Interval(0.05)
+		}
+	}
+	_, half4000 = est.Interval(0.05)
+	if math.IsInf(half500, 1) || math.IsInf(half4000, 1) {
+		t.Fatal("interval never became finite (no collisions?)")
+	}
+	if half4000 >= half500 {
+		t.Errorf("interval did not shrink: %v -> %v", half500, half4000)
+	}
+}
+
+func TestStreamingIntervalCoverage(t *testing.T) {
+	// The 1-delta band should contain the true density for most
+	// agents once the band is meaningful.
+	g := topology.MustTorus(2, 16)
+	const agents, rounds = 40, 3000
+	// Use a conservative constant: c1 = 0.35 is the tight empirical
+	// calibration of E02; per-agent coverage at 1-delta needs the
+	// looser c1 = 0.6.
+	covered, total := 0, 0
+	for trial := 0; trial < 3; trial++ {
+		w := sim.MustWorld(sim.Config{Graph: g, NumAgents: agents, Seed: uint64(40 + trial)})
+		ests := make([]*StreamingEstimator, agents)
+		for i := range ests {
+			e, err := NewStreamingEstimator(0.6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests[i] = e
+		}
+		for r := 0; r < rounds; r++ {
+			w.Step()
+			for i := range ests {
+				ests[i].Observe(w.Count(i))
+			}
+		}
+		d := w.Density()
+		for i := range ests {
+			mid, half := ests[i].Interval(0.05)
+			if math.IsInf(half, 1) {
+				continue
+			}
+			total++
+			if d >= mid-half && d <= mid+half {
+				covered++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no finite intervals")
+	}
+	coverage := float64(covered) / float64(total)
+	if coverage < 0.9 {
+		t.Errorf("interval coverage = %v, want >= 0.9", coverage)
+	}
+}
+
+func TestStreamingAboveThreshold(t *testing.T) {
+	g := topology.MustTorus(2, 16) // A = 256
+	decide := func(agents int) int {
+		w := sim.MustWorld(sim.Config{Graph: g, NumAgents: agents, Seed: 9})
+		est, err := NewStreamingEstimator(0.35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const threshold = 0.1
+		for r := 0; r < 20000; r++ {
+			w.Step()
+			est.Observe(w.Count(0))
+			if v := est.AboveThreshold(threshold, 0.05); v != 0 {
+				return v
+			}
+		}
+		return 0
+	}
+	if got := decide(103); got != +1 { // d ~ 0.4
+		t.Errorf("high-density decision = %d, want +1", got)
+	}
+	if got := decide(6); got != -1 { // d ~ 0.02
+		t.Errorf("low-density decision = %d, want -1", got)
+	}
+}
+
+func TestStreamingAboveThresholdZeroCollisions(t *testing.T) {
+	// A lone agent never collides; the estimator must eventually
+	// decide "below threshold" from the absence of collisions.
+	g := topology.MustTorus(2, 64)
+	w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 1, Seed: 2})
+	est, err := NewStreamingEstimator(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decided := 0
+	for r := 0; r < 2000; r++ {
+		w.Step()
+		est.Observe(w.Count(0))
+		if v := est.AboveThreshold(0.1, 0.05); v != 0 {
+			decided = v
+			break
+		}
+	}
+	if decided != -1 {
+		t.Errorf("zero-collision decision = %d, want -1", decided)
+	}
+}
+
+func TestStreamingIntervalWithEstimateAboveOne(t *testing.T) {
+	// Dense worlds can push the running encounter rate above 1 in
+	// early rounds; Interval must clamp the plug-in density rather
+	// than panic.
+	est, err := NewStreamingEstimator(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.Observe(3) // estimate = 3.0
+	mid, half := est.Interval(0.05)
+	if mid != 3 {
+		t.Errorf("estimate = %v, want 3", mid)
+	}
+	if math.IsNaN(half) || half <= 0 {
+		t.Errorf("half-width = %v, want positive finite", half)
+	}
+	if est.AboveThreshold(0.1, 0.05) == -1 {
+		t.Error("huge estimate decided 'below threshold'")
+	}
+}
+
+func TestStreamingReset(t *testing.T) {
+	est, err := NewStreamingEstimator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.Observe(5)
+	est.Reset()
+	if est.Rounds() != 0 || est.Estimate() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestStreamingPanics(t *testing.T) {
+	est, err := NewStreamingEstimator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"negative count", func() { est.Observe(-1) }},
+		{"bad delta", func() { est.Interval(0) }},
+		{"bad threshold", func() { est.AboveThreshold(0, 0.05) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

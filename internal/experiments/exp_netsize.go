@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"math"
+
+	"antdensity/internal/expfmt"
+	"antdensity/internal/netsize"
+	"antdensity/internal/rng"
+	"antdensity/internal/socialnet"
+	"antdensity/internal/stats"
+	"antdensity/internal/topology"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E14",
+		Title: "Network size estimation across graph families",
+		Claim: "Theorem 27 / Lemma 28: E[C] = 1/|V| and concentration with n^2 t = Theta((B(t) deg + 1)|V|/(eps^2 delta))",
+		Run:   runE14,
+	})
+	register(Experiment{
+		ID:    "E15",
+		Title: "Average degree estimation by inverse-degree sampling",
+		Claim: "Theorem 31: (1 +- eps) estimate of 1/degAvg with n = Theta(deg/(degmin eps^2 delta)) samples",
+		Run:   runE15,
+	})
+	register(Experiment{
+		ID:    "E16",
+		Title: "Link-query tradeoff: multi-round walks vs Katzir snapshot",
+		Claim: "Section 5.1.5: increasing t cuts the walker count (and total queries) on slow-mixing graphs",
+		Run:   runE16,
+	})
+	register(Experiment{
+		ID:    "E17",
+		Title: "Burn-in necessity and sufficiency",
+		Claim: "Section 5.1.4: M = O(log(|E|/delta)/(1-lambda)) steps make seed-started walks match stationary ones",
+		Run:   runE17,
+	})
+	register(Experiment{
+		ID:    "E23",
+		Title: "Beyond encounter rate: cross-round path intersections",
+		Claim: "Section 6.3.3: counting full-path intersections extracts more signal from the same link queries",
+		Run:   runE23,
+	})
+}
+
+func runE23(p Params) (*Outcome, error) {
+	g := topology.MustTorus(3, 9) // 729 nodes, regular, non-bipartite
+	s := rng.New(p.Seed)
+	trials := pick(p, 30, 12)
+	truth := 1 / float64(g.NumNodes())
+	tb := expfmt.NewTable("walkers n", "steps t", "same-round RMSE of C", "cross-round RMSE of C", "gain")
+	out := &Outcome{Metrics: map[string]float64{}}
+	configs := []struct{ n, t int }{{12, 40}, {16, 80}, {24, 160}}
+	if p.Quick {
+		configs = configs[:2]
+	}
+	var lastGain float64
+	for _, c := range configs {
+		var same, cross []float64
+		for trial := 0; trial < trials; trial++ {
+			w1, err := netsize.NewWalkersStationary(g, c.n, s.Split(uint64(c.t*1000+trial)))
+			if err != nil {
+				return nil, err
+			}
+			r1, err := w1.EstimateSize(c.t, 0)
+			if err != nil {
+				return nil, err
+			}
+			same = append(same, r1.C)
+			w2, err := netsize.NewWalkersStationary(g, c.n, s.Split(uint64(c.t*1000+500+trial)))
+			if err != nil {
+				return nil, err
+			}
+			r2, err := w2.CrossRoundEstimate(c.t, 0)
+			if err != nil {
+				return nil, err
+			}
+			cross = append(cross, r2.C)
+		}
+		rs := rmseTo(same, truth)
+		rc := rmseTo(cross, truth)
+		gain := rs / rc
+		tb.AddRow(c.n, c.t, rs, rc, gain)
+		lastGain = gain
+	}
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	out.Metrics["gain"] = lastGain
+	out.note(p.out(), "paper (Section 6.3.3, open question): storing full paths helps; measured RMSE gain %.2fx at equal query budgets", lastGain)
+	return out, nil
+}
+
+// rmseTo returns the root-mean-squared error of xs against truth.
+func rmseTo(xs []float64, truth float64) float64 {
+	var se float64
+	for _, x := range xs {
+		d := x - truth
+		se += d * d
+	}
+	return math.Sqrt(se / float64(len(xs)))
+}
+
+// sizeTrialStats runs repeated stationary-start size estimations and
+// returns the mean C relative to 1/|V| and the relative std of C.
+func sizeTrialStats(g topology.Graph, walkers, steps, trials int, seed uint64) (bias, relStd float64, err error) {
+	var cs []float64
+	for trial := 0; trial < trials; trial++ {
+		res, err := netsize.Estimate(g, netsize.Config{
+			Walkers: walkers, Steps: steps, Stationary: true, Seed: seed + uint64(trial),
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		cs = append(cs, res.C)
+	}
+	truth := 1 / float64(g.NumNodes())
+	return stats.Mean(cs) / truth, stats.StdDev(cs) / truth, nil
+}
+
+func runE14(p Params) (*Outcome, error) {
+	s := rng.New(p.Seed)
+	trials := pick(p, 12, 4)
+	walkers := pick(p, 60, 30)
+	steps := pick(p, 150, 50)
+
+	ba, err := socialnet.BarabasiAlbert(int64(pick(p, 3000, 600)), 3, s)
+	if err != nil {
+		return nil, err
+	}
+	er, err := socialnet.ErdosRenyi(int64(pick(p, 2000, 500)), 0.004, s)
+	if err != nil {
+		return nil, err
+	}
+	erc := socialnet.Connected(er)
+	graphs := []struct {
+		name  string
+		graph topology.Graph
+	}{
+		{name: "torus3d", graph: topology.MustTorus(3, 11)},
+		{name: "ba", graph: ba},
+		{name: "er", graph: erc},
+	}
+	tb := expfmt.NewTable("graph", "|V|", "bias E[C]*|V|", "rel std of C")
+	out := &Outcome{Metrics: map[string]float64{}}
+	for _, gr := range graphs {
+		bias, relStd, err := sizeTrialStats(gr.graph, walkers, steps, trials, p.Seed+uint64(gr.graph.NumNodes()))
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(gr.name, gr.graph.NumNodes(), bias, relStd)
+		out.Metrics["bias_"+gr.name] = bias
+		out.Metrics["relstd_"+gr.name] = relStd
+	}
+	// Concentration improves with n^2 t: quadruple t, expect relative
+	// std to drop by about half.
+	_, rs1, err := sizeTrialStats(graphs[0].graph, walkers, steps, trials, p.Seed+101)
+	if err != nil {
+		return nil, err
+	}
+	_, rs4, err := sizeTrialStats(graphs[0].graph, walkers, 4*steps, trials, p.Seed+202)
+	if err != nil {
+		return nil, err
+	}
+	out.Metrics["relstd_shrink"] = rs4 / rs1
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	out.note(p.out(), "paper: E[C] = 1/|V| exactly; measured bias above. Quadrupling t shrank rel std by factor %.2f (paper predicts ~0.5)", rs4/rs1)
+	return out, nil
+}
+
+func runE15(p Params) (*Outcome, error) {
+	s := rng.New(p.Seed)
+	g, err := socialnet.BarabasiAlbert(int64(pick(p, 5000, 1000)), 3, s)
+	if err != nil {
+		return nil, err
+	}
+	st := socialnet.Degrees(g)
+	truth := 1 / st.Mean
+	trials := pick(p, 200, 50)
+	tb := expfmt.NewTable("samples n", "mean D", "truth 1/degAvg", "rel std", "rel std * sqrt(n)")
+	out := &Outcome{Metrics: map[string]float64{}}
+	var lastRelStd float64
+	var scaled []float64
+	for _, n := range []int{10, 40, 160, 640} {
+		var ds []float64
+		for trial := 0; trial < trials; trial++ {
+			w, err := netsize.NewWalkersStationary(g, n, s.Split(uint64(n*10000+trial)))
+			if err != nil {
+				return nil, err
+			}
+			ds = append(ds, w.EstimateAvgDegree())
+		}
+		relStd := stats.StdDev(ds) / truth
+		tb.AddRow(n, stats.Mean(ds), truth, relStd, relStd*math.Sqrt(float64(n)))
+		lastRelStd = relStd
+		scaled = append(scaled, relStd*math.Sqrt(float64(n)))
+	}
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	// 1/sqrt(n) scaling: the scaled column should be roughly flat.
+	spread := stats.Max(scaled) / stats.Min(scaled)
+	out.Metrics["scaled_spread"] = spread
+	out.Metrics["final_rel_std"] = lastRelStd
+	out.note(p.out(), "paper: error ~ 1/sqrt(n) (Chebyshev, Theorem 31); rel-std x sqrt(n) spread across n = %.2f (1 = perfect)", spread)
+	return out, nil
+}
+
+func runE16(p Params) (*Outcome, error) {
+	// A slow-mixing graph where burn-in dominates cost: Watts-
+	// Strogatz with tiny rewiring. Mixing is slow but finite;
+	// lambda is measured, M derived per Section 5.1.4.
+	s := rng.New(p.Seed)
+	g, err := socialnet.WattsStrogatz(int64(pick(p, 4000, 800)), 3, 0.02, s)
+	if err != nil {
+		return nil, err
+	}
+	lambda := topology.SpectralGap(g, 500, s.Split(1))
+	if lambda >= 1 {
+		lambda = 1 - 1e-9
+	}
+	m := topology.MixingTime(topology.NumEdges(g), lambda, 0.1)
+	trials := pick(p, 10, 4)
+
+	tb := expfmt.NewTable("strategy", "walkers n", "steps t", "queries n(M+t)", "median size", "mean |rel err| of C")
+	out := &Outcome{Metrics: map[string]float64{}}
+	truth := 1 / float64(g.NumNodes())
+
+	runStrategy := func(name string, walkers, steps int) error {
+		var cs []float64
+		var queries int64
+		for trial := 0; trial < trials; trial++ {
+			w, err := netsize.NewWalkersAtSeed(g, walkers, 0, s.Split(uint64(len(name)*1000+trial)))
+			if err != nil {
+				return err
+			}
+			w.BurnIn(m)
+			var c float64
+			if steps == 0 {
+				c = w.KatzirEstimate(0).C
+			} else {
+				res, err := w.EstimateSize(steps, 0)
+				if err != nil {
+					return err
+				}
+				c = res.C
+			}
+			cs = append(cs, c)
+			queries += w.Queries()
+		}
+		med := stats.Median(cs)
+		size := math.Inf(1)
+		if med > 0 {
+			size = 1 / med
+		}
+		relErr := stats.Mean(stats.RelErrors(cs, truth))
+		tb.AddRow(name, walkers, steps, queries/int64(trials), size, relErr)
+		out.Metrics["relerr_"+name] = relErr
+		out.Metrics["queries_"+name] = float64(queries / int64(trials))
+		return nil
+	}
+
+	// Katzir snapshot needs many walkers; the multi-round estimator
+	// trades walkers for steps at fixed n^2 t ~ budget.
+	nK := pick(p, 120, 60)
+	if err := runStrategy("katzir", nK, 0); err != nil {
+		return nil, err
+	}
+	nOurs := nK / 4
+	tOurs := pick(p, 320, 120) // n^2 t comparable to nK^2 * 20
+	if err := runStrategy("multiround", nOurs, tOurs); err != nil {
+		return nil, err
+	}
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	out.Metrics["mixing_time"] = float64(m)
+	out.Metrics["lambda"] = lambda
+	queryRatio := out.Metrics["queries_multiround"] / out.Metrics["queries_katzir"]
+	out.Metrics["query_ratio"] = queryRatio
+	out.note(p.out(), "paper: with burn-in M = %d (lambda = %.4f), running t rounds lets n shrink, cutting total queries; measured query ratio multiround/katzir = %.2f", m, lambda, queryRatio)
+	return out, nil
+}
+
+func runE17(p Params) (*Outcome, error) {
+	s := rng.New(p.Seed)
+	g, err := socialnet.WattsStrogatz(int64(pick(p, 2000, 600)), 3, 0.05, s)
+	if err != nil {
+		return nil, err
+	}
+	lambda := topology.SpectralGap(g, 500, s.Split(1))
+	if lambda >= 1 {
+		lambda = 1 - 1e-9
+	}
+	m := topology.MixingTime(topology.NumEdges(g), lambda, 0.1)
+	trials := pick(p, 12, 4)
+	walkers := pick(p, 50, 25)
+	steps := pick(p, 100, 40)
+	truth := 1 / float64(g.NumNodes())
+
+	measure := func(burn int, stationary bool, seedBase uint64) (float64, error) {
+		var cs []float64
+		for trial := 0; trial < trials; trial++ {
+			var c float64
+			if stationary {
+				w, err := netsize.NewWalkersStationary(g, walkers, s.Split(seedBase+uint64(trial)))
+				if err != nil {
+					return 0, err
+				}
+				res, err := w.EstimateSize(steps, 0)
+				if err != nil {
+					return 0, err
+				}
+				c = res.C
+			} else {
+				w, err := netsize.NewWalkersAtSeed(g, walkers, 0, s.Split(seedBase+uint64(trial)))
+				if err != nil {
+					return 0, err
+				}
+				w.BurnIn(burn)
+				res, err := w.EstimateSize(steps, 0)
+				if err != nil {
+					return 0, err
+				}
+				c = res.C
+			}
+			cs = append(cs, c)
+		}
+		return stats.Mean(cs) / truth, nil
+	}
+
+	noBurn, err := measure(0, false, 10000)
+	if err != nil {
+		return nil, err
+	}
+	fullBurn, err := measure(m, false, 20000)
+	if err != nil {
+		return nil, err
+	}
+	stationary, err := measure(0, true, 30000)
+	if err != nil {
+		return nil, err
+	}
+	tb := expfmt.NewTable("start", "burn-in", "bias E[C]*|V|")
+	tb.AddRow("seed vertex", 0, noBurn)
+	tb.AddRow("seed vertex", m, fullBurn)
+	tb.AddRow("stationary", "-", stationary)
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	out := &Outcome{Metrics: map[string]float64{
+		"bias_noburn":     noBurn,
+		"bias_fullburn":   fullBurn,
+		"bias_stationary": stationary,
+		"mixing_time":     float64(m),
+	}}
+	out.note(p.out(), "paper: without burn-in, clustered walkers over-collide (C inflated, size underestimated); after M = %d steps the bias matches stationary starts", m)
+	return out, nil
+}

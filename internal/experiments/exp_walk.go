@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+
+	"antdensity/internal/core"
+	"antdensity/internal/expfmt"
+	"antdensity/internal/rng"
+	"antdensity/internal/stats"
+	"antdensity/internal/topology"
+	"antdensity/internal/walk"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E04",
+		Title: "Re-collision probability decay on the 2-D torus",
+		Claim: "Lemma 4: P[re-collision after m] = O(1/(m+1) + 1/A)",
+		Run:   runE04,
+	})
+	register(Experiment{
+		ID:    "E05",
+		Title: "Equalization probability on the 2-D torus",
+		Claim: "Corollary 10: Theta(1/(m+1)) + O(1/A) for even m, 0 for odd m",
+		Run:   runE05,
+	})
+	register(Experiment{
+		ID:    "E06",
+		Title: "Collision and equalization count moments",
+		Claim: "Lemma 11 / Corollaries 15-16: Var(c_j) = O((t/A) log^2 2t), E[equalizations] = Theta(log t)",
+		Run:   runE06,
+	})
+	register(Experiment{
+		ID:    "E07",
+		Title: "Ring: re-collision decay and estimation accuracy",
+		Claim: "Lemma 20 (beta(m) ~ 1/sqrt(m)), Theorem 21 (error ~ t^(-1/4))",
+		Run:   runE07,
+	})
+	register(Experiment{
+		ID:    "E08",
+		Title: "k-dimensional torus (k >= 3): local mixing matches sampling",
+		Claim: "Lemma 22: beta(m) ~ 1/m^(k/2); B(t) = O(1); t = O(log(1/delta)/(d eps^2))",
+		Run:   runE08,
+	})
+	register(Experiment{
+		ID:    "E09",
+		Title: "Regular expander: geometric re-collision decay",
+		Claim: "Lemma 23: P[re-collision after m] <= lambda^m + 1/A",
+		Run:   runE09,
+	})
+	register(Experiment{
+		ID:    "E10",
+		Title: "Hypercube: geometric re-collision decay to 1/sqrt(A) floor",
+		Claim: "Lemma 25: P[re-collision after m] <= (9/10)^(m-1) + 1/sqrt(A)",
+		Run:   runE10,
+	})
+	register(Experiment{
+		ID:    "E11",
+		Title: "B(t) growth across topologies",
+		Claim: "Section 4: B(t) = Theta(log t) on 2-D torus, Theta(sqrt t) on ring, O(1) for k>=3 tori, expanders, hypercubes",
+		Run:   runE11,
+	})
+}
+
+func runE04(p Params) (*Outcome, error) {
+	g := topology.MustTorus(2, 512)
+	trials := pick(p, 200000, 20000)
+	maxM := pick(p, 256, 64)
+	s := rng.New(p.Seed)
+	curve := walk.RecollisionCurve(g, 0, maxM, trials, s)
+	tb := expfmt.NewTable("m", "P[re-collision]", "m * P", "Lemma4 1/(m+1)")
+	var xs, ys []float64
+	for m := 2; m <= maxM; m *= 2 {
+		tb.AddRow(m, curve[m], float64(m)*curve[m], 1/float64(m+1))
+		xs = append(xs, float64(m))
+		ys = append(ys, curve[m])
+	}
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	alpha, _, r2 := stats.FitPowerLaw(xs, ys)
+	out := &Outcome{Metrics: map[string]float64{"decay_exponent": alpha, "r2": r2}}
+	out.note(p.out(), "paper: decay exponent -1 (Lemma 4); measured %.3f (R2 = %.3f)", alpha, r2)
+	return out, nil
+}
+
+func runE05(p Params) (*Outcome, error) {
+	g := topology.MustTorus(2, 512)
+	trials := pick(p, 300000, 30000)
+	maxM := pick(p, 128, 32)
+	s := rng.New(p.Seed)
+	curve := walk.EqualizationCurve(g, g.Node(11, 13), maxM, trials, s)
+	tb := expfmt.NewTable("m", "P[equalize]", "m * P", "2/(pi m)")
+	var xs, ys []float64
+	oddMass := 0.0
+	for m := 1; m <= maxM; m++ {
+		if m%2 == 1 {
+			oddMass += curve[m]
+			continue
+		}
+		if m&(m-1) == 0 { // powers of two only in the table
+			tb.AddRow(m, curve[m], float64(m)*curve[m], 2/(math.Pi*float64(m)))
+		}
+		xs = append(xs, float64(m))
+		ys = append(ys, curve[m])
+	}
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	alpha, _, r2 := stats.FitPowerLaw(xs, ys)
+	out := &Outcome{Metrics: map[string]float64{
+		"decay_exponent": alpha,
+		"r2":             r2,
+		"odd_mass":       oddMass,
+	}}
+	out.note(p.out(), "paper: Theta(1/(m+1)) for even m, exactly 0 for odd m; measured exponent %.3f, total odd-step mass %.6f", alpha, oddMass)
+	return out, nil
+}
+
+func runE06(p Params) (*Outcome, error) {
+	g := topology.MustTorus(2, 64) // A = 4096
+	trials := pick(p, 40000, 5000)
+	s := rng.New(p.Seed)
+	tb := expfmt.NewTable("t", "Var(c_j)", "(t/A) log^2 2t", "ratio", "E[equalizations]", "log 2t")
+	out := &Outcome{Metrics: map[string]float64{}}
+	ts := []int{256, 1024, 4096}
+	if p.Quick {
+		ts = []int{128, 512}
+	}
+	var ratios []float64
+	var eqMeans, eqLogs []float64
+	for i, t := range ts {
+		pair := walk.PairCollisionCounts(g, t, trials, s.Split(uint64(i)))
+		v := stats.Variance(pair)
+		scale := float64(t) / float64(g.NumNodes()) * math.Pow(math.Log(2*float64(t)), 2)
+		eq := walk.EqualizationCounts(g, t, trials/2, s.Split(uint64(100+i)))
+		eqMean := stats.Mean(eq)
+		tb.AddRow(t, v, scale, v/scale, eqMean, math.Log(2*float64(t)))
+		ratios = append(ratios, v/scale)
+		eqMeans = append(eqMeans, eqMean)
+		eqLogs = append(eqLogs, math.Log(2*float64(t)))
+	}
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	out.Metrics["max_var_ratio"] = stats.Max(ratios)
+	// E[equalizations] should grow linearly in log t: fit against log.
+	fit := stats.FitLine(eqLogs, eqMeans)
+	out.Metrics["equalization_log_slope"] = fit.Slope
+	out.note(p.out(), "paper: Var(c_j) within constant x (t/A) log^2 2t (Lemma 11, k=2); measured max ratio %.3f", stats.Max(ratios))
+	out.note(p.out(), "paper: E[equalizations] = Theta(log t) (Cor. 10/16); measured linear-in-log slope %.3f", fit.Slope)
+	return out, nil
+}
+
+func runE07(p Params) (*Outcome, error) {
+	ringBig, err := topology.NewRing(1 << 20)
+	if err != nil {
+		return nil, err
+	}
+	trials := pick(p, 120000, 15000)
+	maxM := pick(p, 256, 64)
+	s := rng.New(p.Seed)
+	curve := walk.RecollisionCurve(ringBig, 0, maxM, trials, s)
+	var xs, ys []float64
+	for m := 2; m <= maxM; m += 2 {
+		xs = append(xs, float64(m))
+		ys = append(ys, curve[m])
+	}
+	alpha, _, r2 := stats.FitPowerLaw(xs, ys)
+
+	// Density estimation error scaling on a ring: Theorem 21 predicts
+	// error ~ t^(-1/4).
+	ringSmall, err := topology.NewRing(1000)
+	if err != nil {
+		return nil, err
+	}
+	const agents = 101 // d = 0.1
+	estTrials := pick(p, 6, 2)
+	ts := []int{100, 400, 1600, 6400}
+	if p.Quick {
+		ts = []int{100, 400, 1600}
+	}
+	tb := expfmt.NewTable("rounds t", "mean |rel err|", "Thm21 shape t^(-1/4)")
+	var exs, eys []float64
+	for _, t := range ts {
+		errs, _, err := algorithm1Errors(ringSmall, agents, t, estTrials, p.Seed+uint64(t))
+		if err != nil {
+			return nil, err
+		}
+		mean := stats.Mean(errs)
+		tb.AddRow(t, mean, math.Pow(float64(t), -0.25))
+		exs = append(exs, float64(t))
+		eys = append(eys, mean)
+	}
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	estAlpha, _, _ := stats.FitPowerLaw(exs, eys)
+	out := &Outcome{Metrics: map[string]float64{
+		"recollision_exponent": alpha,
+		"recollision_r2":       r2,
+		"error_exponent":       estAlpha,
+	}}
+	out.note(p.out(), "paper: ring re-collision exponent -1/2 (Lemma 20); measured %.3f (R2 = %.3f)", alpha, r2)
+	out.note(p.out(), "paper: ring estimation error exponent -1/4 (Theorem 21); measured %.3f", estAlpha)
+	return out, nil
+}
+
+func runE08(p Params) (*Outcome, error) {
+	trials := pick(p, 150000, 15000)
+	maxM := pick(p, 64, 32)
+	s := rng.New(p.Seed)
+	tb := expfmt.NewTable("k", "measured exponent", "paper -k/2", "B(64) measured", "B(64) series")
+	out := &Outcome{Metrics: map[string]float64{}}
+	for _, k := range []int{3, 4} {
+		side := int64(64)
+		if k == 4 {
+			side = 32
+		}
+		g := topology.MustTorus(k, side)
+		curve := walk.RecollisionCurve(g, 0, maxM, trials, s.Split(uint64(k)))
+		var xs, ys []float64
+		for m := 2; m <= maxM; m += 2 {
+			if curve[m] > 0 {
+				xs = append(xs, float64(m))
+				ys = append(ys, curve[m])
+			}
+		}
+		alpha, _, _ := stats.FitPowerLaw(xs, ys)
+		bt := walk.SumCurve(curve)[maxM]
+		tb.AddRow(k, alpha, -float64(k)/2, bt, core.BTorusK(maxM, k))
+		out.Metrics[metricName("exponent_k", k)] = alpha
+		out.Metrics[metricName("bt_k", k)] = bt
+	}
+	// Estimation accuracy on the 3-D torus matches the complete graph
+	// (sampling-optimal): compare mean errors at equal (t, d).
+	g3 := topology.MustTorus(3, 12) // A = 1728
+	complete := topology.MustComplete(g3.NumNodes())
+	const agents = 174 // d ~ 0.1
+	t := pick(p, 1500, 300)
+	estTrials := pick(p, 6, 2)
+	errs3, _, err := algorithm1Errors(g3, agents, t, estTrials, p.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+	errsC, _, err := algorithm1Errors(complete, agents, t, estTrials, p.Seed+12)
+	if err != nil {
+		return nil, err
+	}
+	ratio := stats.Mean(errs3) / stats.Mean(errsC)
+	out.Metrics["torus3d_over_complete"] = ratio
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	out.note(p.out(), "paper: k>=3 torus matches independent sampling up to constants; measured error ratio vs complete graph = %.2f", ratio)
+	return out, nil
+}
+
+func metricName(prefix string, k int) string {
+	return prefix + strconv.Itoa(k)
+}
+
+func runE09(p Params) (*Outcome, error) {
+	s := rng.New(p.Seed)
+	n := int64(pick(p, 20000, 2000))
+	g, err := topology.NewRandomRegular(n, 8, s)
+	if err != nil {
+		return nil, err
+	}
+	lambda := topology.SpectralGap(g, 300, s.Split(1))
+	trials := pick(p, 200000, 20000)
+	maxM := pick(p, 20, 12)
+	curve := walk.RecollisionCurve(g, 0, maxM, trials, s.Split(2))
+	tb := expfmt.NewTable("m", "P[re-collision]", "lambda^m + 1/A", "within bound")
+	violations := 0
+	for m := 1; m <= maxM; m++ {
+		bound := math.Pow(lambda, float64(m)) + 1/float64(n)
+		slack := 3*math.Sqrt(bound/float64(trials)) + 1e-4
+		ok := curve[m] <= bound+slack
+		if !ok {
+			violations++
+		}
+		tb.AddRow(m, curve[m], bound, ok)
+	}
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	out := &Outcome{Metrics: map[string]float64{
+		"lambda":     lambda,
+		"violations": float64(violations),
+	}}
+	out.note(p.out(), "paper: P <= lambda^m + 1/A with measured lambda = %.3f (Lemma 23); bound violations: %d", lambda, violations)
+	return out, nil
+}
+
+func runE10(p Params) (*Outcome, error) {
+	bits := pick(p, 16, 12)
+	h := topology.MustHypercube(bits)
+	trials := pick(p, 200000, 20000)
+	maxM := pick(p, 40, 20)
+	s := rng.New(p.Seed)
+	curve := walk.RecollisionCurve(h, 0, maxM, trials, s)
+	floor := 1 / math.Sqrt(float64(h.NumNodes()))
+	tb := expfmt.NewTable("m", "P[re-collision]", "(9/10)^(m-1) + 1/sqrt(A)", "within bound")
+	violations := 0
+	for m := 1; m <= maxM; m++ {
+		bound := math.Pow(0.9, float64(m-1)) + floor
+		slack := 3*math.Sqrt(bound/float64(trials)) + 1e-4
+		ok := curve[m] <= bound+slack
+		if !ok {
+			violations++
+		}
+		if m <= 8 || m%4 == 0 {
+			tb.AddRow(m, curve[m], bound, ok)
+		}
+	}
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	out := &Outcome{Metrics: map[string]float64{"violations": float64(violations), "floor": floor}}
+	out.note(p.out(), "paper: geometric decay to the 1/sqrt(A) floor (Lemma 25); bound violations: %d", violations)
+	return out, nil
+}
+
+func runE11(p Params) (*Outcome, error) {
+	trials := pick(p, 100000, 10000)
+	maxM := pick(p, 4096, 512)
+	s := rng.New(p.Seed)
+
+	type topo struct {
+		name  string
+		graph topology.Graph
+	}
+	expander, err := topology.NewRandomRegular(int64(pick(p, 20000, 2000)), 8, s.Split(77))
+	if err != nil {
+		return nil, err
+	}
+	ring, err := topology.NewRing(1 << 20)
+	if err != nil {
+		return nil, err
+	}
+	topos := []topo{
+		{name: "ring", graph: ring},
+		{name: "torus2d", graph: topology.MustTorus(2, 2048)},
+		{name: "torus3d", graph: topology.MustTorus(3, 101)},
+		{name: "hypercube", graph: topology.MustHypercube(16)},
+		{name: "expander8", graph: expander},
+	}
+	checkpoints := []int{64, 256, 1024, 4096}
+	if p.Quick {
+		checkpoints = []int{64, 256, 512}
+	}
+	tbHeaders := []string{"topology"}
+	for _, c := range checkpoints {
+		tbHeaders = append(tbHeaders, "B("+strconv.Itoa(c)+")")
+	}
+	tbHeaders = append(tbHeaders, "growth class")
+	tb := expfmt.NewTable(tbHeaders...)
+	out := &Outcome{Metrics: map[string]float64{}}
+	for i, tp := range topos {
+		curve := walk.RecollisionCurve(tp.graph, 0, maxM, trials, s.Split(uint64(i)))
+		bt := walk.SumCurve(curve)
+		row := []any{tp.name}
+		for _, c := range checkpoints {
+			row = append(row, bt[c])
+		}
+		last := len(checkpoints) - 1
+		growth := bt[checkpoints[last]] / bt[checkpoints[0]]
+		class := "O(1)"
+		switch {
+		case growth > 4:
+			class = "sqrt(t)-like"
+		case growth > 1.5:
+			class = "log(t)-like"
+		}
+		row = append(row, class)
+		tb.AddRow(row...)
+		out.Metrics["growth_"+tp.name] = growth
+	}
+	if err := tb.Render(p.out()); err != nil {
+		return nil, err
+	}
+	out.note(p.out(), "paper: B(t) grows like sqrt(t) on the ring, log t on the 2-D torus, O(1) on k>=3 tori / expanders / hypercubes")
+	return out, nil
+}

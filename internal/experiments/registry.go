@@ -1,0 +1,98 @@
+// Package experiments contains the reproduction harness: one
+// registered experiment per quantitative claim of the paper, each
+// regenerating the corresponding series (the paper is an extended
+// abstract with schematic figures only, so the "tables and figures"
+// to reproduce are the theorem-predicted scalings; see DESIGN.md for
+// the full index). Every experiment prints a table and returns
+// machine-checkable metrics used by the test suite and benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Params configures an experiment run.
+type Params struct {
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed uint64
+	// Quick reduces trial counts and sweep ranges so the experiment
+	// finishes in well under a second — used by tests. Full runs are
+	// sized for minutes at most.
+	Quick bool
+	// Out receives the experiment's formatted tables; nil discards
+	// them.
+	Out io.Writer
+}
+
+func (p Params) out() io.Writer {
+	if p.Out == nil {
+		return io.Discard
+	}
+	return p.Out
+}
+
+// Outcome carries an experiment's machine-checkable results.
+type Outcome struct {
+	// Metrics maps metric names (documented per experiment) to
+	// measured values.
+	Metrics map[string]float64
+	// Notes are free-form observations included in reports.
+	Notes []string
+}
+
+// note appends a formatted note and also prints it.
+func (o *Outcome) note(w io.Writer, format string, args ...any) {
+	s := fmt.Sprintf(format, args...)
+	o.Notes = append(o.Notes, s)
+	fmt.Fprintln(w, s)
+}
+
+// Experiment is a registered reproduction experiment.
+type Experiment struct {
+	// ID is the short identifier (e.g. "E02") used by the CLI and
+	// bench targets.
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim cites the paper statement being reproduced.
+	Claim string
+	// Run executes the experiment.
+	Run func(p Params) (*Outcome, error)
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment to the global registry; duplicate IDs
+// panic at init time.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate ID %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// pick returns full unless Quick, in which case quick.
+func pick(p Params, full, quick int) int {
+	if p.Quick {
+		return quick
+	}
+	return full
+}

@@ -1,0 +1,310 @@
+// Package netsize implements the paper's Section 5.1 application:
+// estimating the size of a network reachable only through link
+// queries, by running multiple random walks and counting their
+// degree-weighted collisions over time (Algorithm 2), estimating the
+// average degree by inverse-degree sampling (Algorithm 3), and
+// burning in walks from a seed vertex per the Section 5.1.4 analysis.
+// KatzirEstimate reimplements the [KLSC14] comparator that counts
+// collisions only in the single round immediately after burn-in.
+//
+// Every vertex-neighborhood access is a "link query", the cost unit
+// of the paper's Section 5.1.5 comparison; QueryCost reports the
+// totals so the experiments can regenerate the query-tradeoff series.
+package netsize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"antdensity/internal/rng"
+	"antdensity/internal/stats"
+	"antdensity/internal/topology"
+)
+
+// Walkers is a set of random-walk positions on a graph, with link
+// query accounting.
+type Walkers struct {
+	graph   topology.Graph
+	pos     []int64
+	streams []*rng.Stream
+	queries int64
+}
+
+// NewWalkersAtSeed starts n walkers at the given seed vertex — the
+// realistic access model where only one vertex is known a priori.
+func NewWalkersAtSeed(g topology.Graph, n int, seed int64, s *rng.Stream) (*Walkers, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("netsize: need >= 2 walkers, got %d", n)
+	}
+	if seed < 0 || seed >= g.NumNodes() {
+		return nil, fmt.Errorf("netsize: seed vertex %d out of range [0, %d)", seed, g.NumNodes())
+	}
+	w := &Walkers{graph: g, pos: make([]int64, n), streams: make([]*rng.Stream, n)}
+	for i := range w.pos {
+		w.pos[i] = seed
+		w.streams[i] = s.Split(uint64(i))
+	}
+	return w, nil
+}
+
+// NewWalkersStationary starts n walkers at independent samples from
+// the network's stable distribution (probability proportional to
+// degree) — the idealized model analyzed first in Section 5.1.2.
+// It materializes a cumulative-degree table of length A.
+func NewWalkersStationary(g topology.Graph, n int, s *rng.Stream) (*Walkers, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("netsize: need >= 2 walkers, got %d", n)
+	}
+	a := g.NumNodes()
+	cum := make([]int64, a+1)
+	for v := int64(0); v < a; v++ {
+		cum[v+1] = cum[v] + int64(g.Degree(v))
+	}
+	total := cum[a]
+	if total == 0 {
+		return nil, fmt.Errorf("netsize: graph has no edges")
+	}
+	w := &Walkers{graph: g, pos: make([]int64, n), streams: make([]*rng.Stream, n)}
+	for i := range w.pos {
+		r := int64(s.Uint64n(uint64(total)))
+		// Find v with cum[v] <= r < cum[v+1].
+		v := int64(sort.Search(int(a), func(x int) bool { return cum[x+1] > r }))
+		w.pos[i] = v
+		w.streams[i] = s.Split(uint64(i))
+	}
+	return w, nil
+}
+
+// NumWalkers returns the number of walkers.
+func (w *Walkers) NumWalkers() int { return len(w.pos) }
+
+// Positions returns a copy of the walker positions.
+func (w *Walkers) Positions() []int64 {
+	out := make([]int64, len(w.pos))
+	copy(out, w.pos)
+	return out
+}
+
+// Queries returns the cumulative number of link queries issued so
+// far. One query is charged per walker step (each step requires the
+// current vertex's neighborhood).
+func (w *Walkers) Queries() int64 { return w.queries }
+
+// Step advances every walker one uniform random step, charging one
+// link query per walker.
+func (w *Walkers) Step() {
+	for i := range w.pos {
+		w.pos[i] = topology.RandomStep(w.graph, w.pos[i], w.streams[i])
+		w.queries++
+	}
+}
+
+// BurnIn advances all walkers m steps. With m >= the mixing-derived
+// bound of Section 5.1.4 (see topology.MixingTime), the walker
+// distribution is within total-variation delta of stationary.
+func (w *Walkers) BurnIn(m int) {
+	for i := 0; i < m; i++ {
+		w.Step()
+	}
+}
+
+// weightedCollisions returns sum over walkers of
+// count(position)/deg(position) for the current round — the
+// degree-corrected collision total of Algorithm 2.
+func (w *Walkers) weightedCollisions() float64 {
+	occ := make(map[int64]int64, len(w.pos))
+	for _, p := range w.pos {
+		occ[p]++
+	}
+	var sum float64
+	for v, c := range occ {
+		if c < 2 {
+			continue
+		}
+		// Each of the c walkers at v sees c-1 others, weighted 1/deg(v).
+		sum += float64(c) * float64(c-1) / float64(w.graph.Degree(v))
+	}
+	return sum
+}
+
+// EstimateAvgDegree implements Algorithm 3: it returns
+// D = (1/n) * sum_j 1/deg(w_j), an unbiased estimate of 1/degAvg when
+// walkers are stationary (Theorem 31). No link queries are charged:
+// the walkers' current degrees are known from the queries that
+// brought them there.
+func (w *Walkers) EstimateAvgDegree() float64 {
+	var sum float64
+	for _, p := range w.pos {
+		sum += 1 / float64(w.graph.Degree(p))
+	}
+	return sum / float64(len(w.pos))
+}
+
+// Result is the output of a size estimation run.
+type Result struct {
+	// Size is the network size estimate A-tilde = 1/C.
+	Size float64
+	// C is the normalized weighted collision rate with expectation
+	// 1/|V| (Lemma 28).
+	C float64
+	// InvAvgDegree is the Algorithm 3 estimate of 1/degAvg used in
+	// the normalization.
+	InvAvgDegree float64
+	// Queries is the cumulative link queries consumed by the walkers,
+	// including burn-in.
+	Queries int64
+}
+
+// EstimateSize implements Algorithm 2: run the walkers t further
+// steps, accumulate degree-weighted collisions each round, and return
+// the size estimate
+//
+//	A-tilde = 1 / C,  C = degAvg * sum_j c_j / (n (n-1) t).
+//
+// If invAvgDegree > 0 it is used as the estimate of 1/degAvg
+// (supplied, for instance, by a prior EstimateAvgDegree call);
+// otherwise Algorithm 3 is invoked on the walkers' current positions.
+// A zero collision total yields Size = +Inf; callers needing
+// robustness should use MedianOfMeansSize or larger n^2 t.
+func (w *Walkers) EstimateSize(t int, invAvgDegree float64) (*Result, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("netsize: step count must be >= 1, got %d", t)
+	}
+	if invAvgDegree <= 0 {
+		invAvgDegree = w.EstimateAvgDegree()
+	}
+	var total float64
+	for r := 0; r < t; r++ {
+		w.Step()
+		total += w.weightedCollisions()
+	}
+	n := float64(len(w.pos))
+	c := total / (invAvgDegree * n * (n - 1) * float64(t))
+	return &Result{
+		Size:         1 / c,
+		C:            c,
+		InvAvgDegree: invAvgDegree,
+		Queries:      w.queries,
+	}, nil
+}
+
+// KatzirEstimate reimplements the [KLSC14] baseline: walkers are
+// halted where they stand (immediately after burn-in) and collisions
+// are counted once, in that single configuration. The estimate is
+//
+//	A-tilde = 1 / C,  C = degAvg * sum_j c_j / (n (n-1)).
+//
+// Zero collisions yield +Inf, which is common unless n =
+// Omega(sqrt(|V|)) — the weakness the paper's multi-round estimator
+// addresses.
+func (w *Walkers) KatzirEstimate(invAvgDegree float64) *Result {
+	if invAvgDegree <= 0 {
+		invAvgDegree = w.EstimateAvgDegree()
+	}
+	n := float64(len(w.pos))
+	c := w.weightedCollisions() / (invAvgDegree * n * (n - 1))
+	return &Result{Size: 1 / c, C: c, InvAvgDegree: invAvgDegree, Queries: w.queries}
+}
+
+// Config bundles the parameters of a full size estimation pipeline.
+type Config struct {
+	// Walkers is the number of simultaneous random walks n.
+	Walkers int
+	// Steps is the collision counting horizon t.
+	Steps int
+	// BurnIn is the number of burn-in steps; if negative, it is
+	// derived from the spectral gap via topology.MixingTime with
+	// Delta.
+	BurnIn int
+	// Delta is the failure probability target used when deriving
+	// burn-in automatically. Zero means 0.1.
+	Delta float64
+	// Seed drives all randomness.
+	Seed uint64
+	// SeedVertex is where walks begin. Ignored when Stationary.
+	SeedVertex int64
+	// Stationary skips burn-in and samples starts from the stable
+	// distribution directly (the idealized Section 5.1.2 model).
+	Stationary bool
+}
+
+// Estimate runs the full pipeline of Section 5.1 on g: start walkers,
+// burn in (unless stationary), estimate the average degree by
+// Algorithm 3, then the network size by Algorithm 2.
+func Estimate(g topology.Graph, cfg Config) (*Result, error) {
+	if cfg.Delta == 0 {
+		cfg.Delta = 0.1
+	}
+	root := rng.New(cfg.Seed)
+	var w *Walkers
+	var err error
+	if cfg.Stationary {
+		w, err = NewWalkersStationary(g, cfg.Walkers, root)
+	} else {
+		w, err = NewWalkersAtSeed(g, cfg.Walkers, cfg.SeedVertex, root)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.Stationary {
+		burn := cfg.BurnIn
+		if burn < 0 {
+			lambda := topology.SpectralGap(g, 300, root.Split(1<<32))
+			// The Section 5.1 analysis requires a connected,
+			// non-bipartite network; lambda ~ 1 signals a (near-)
+			// bipartite or disconnected graph on which no burn-in
+			// length mixes the walk.
+			if lambda > 0.9999 {
+				return nil, fmt.Errorf("netsize: measured spectral value %.6f ~ 1; graph is (near-)bipartite or disconnected, burn-in cannot converge", lambda)
+			}
+			burn = topology.MixingTime(topology.NumEdges(g), lambda, cfg.Delta)
+		}
+		w.BurnIn(burn)
+	}
+	inv := w.EstimateAvgDegree()
+	return w.EstimateSize(cfg.Steps, inv)
+}
+
+// MedianOfMeansSize amplifies Estimate's constant success probability
+// to high probability by running reps independent estimates and
+// returning the median of their C values (inverted at the end), the
+// amplification the paper describes in Section 5.1.2. Infinite
+// estimates (zero collisions) are handled naturally: their C is 0 and
+// participates in the median. The total query cost is also returned.
+func MedianOfMeansSize(g topology.Graph, cfg Config, reps int) (size float64, queries int64, err error) {
+	if reps < 1 {
+		return 0, 0, fmt.Errorf("netsize: reps must be >= 1, got %d", reps)
+	}
+	cs := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		sub := cfg
+		sub.Seed = cfg.Seed + uint64(r)*0x9e3779b97f4a7c15
+		res, err := Estimate(g, sub)
+		if err != nil {
+			return 0, 0, err
+		}
+		cs = append(cs, res.C)
+		queries += res.Queries
+	}
+	medianC := stats.Median(cs)
+	if medianC == 0 {
+		return math.Inf(1), queries, nil
+	}
+	return 1 / medianC, queries, nil
+}
+
+// TheoryWalkerCount returns the Theorem 27 walker requirement: for a
+// (1 +- eps) size estimate with probability 1-delta using t steps,
+// n^2 t = Theta((B(t)*degAvg + 1)/(eps^2 delta) * |V|); this solves
+// for n with constant 1.
+func TheoryWalkerCount(numNodes int64, bt, degAvg, eps, delta float64, t int) int {
+	if t < 1 {
+		panic(fmt.Sprintf("netsize: t must be >= 1, got %d", t))
+	}
+	if eps <= 0 || delta <= 0 {
+		panic("netsize: eps and delta must be positive")
+	}
+	n2t := (bt*degAvg + 1) / (eps * eps * delta) * float64(numNodes)
+	return int(math.Ceil(math.Sqrt(n2t / float64(t))))
+}

@@ -1,0 +1,142 @@
+package netsize
+
+import (
+	"math"
+	"testing"
+
+	"antdensity/internal/rng"
+	"antdensity/internal/stats"
+	"antdensity/internal/topology"
+)
+
+func TestCrossRoundEstimateCalibrated(t *testing.T) {
+	// Lemma 28 extended to cross-round pairs: E[C] = 1/|V|.
+	g := topology.MustTorus(3, 8) // 512 nodes, regular
+	s := rng.New(1)
+	var cs []float64
+	for trial := 0; trial < 12; trial++ {
+		w, err := NewWalkersStationary(g, 30, s.Split(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.CrossRoundEstimate(60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, res.C)
+	}
+	mean := stats.Mean(cs)
+	want := 1 / float64(g.NumNodes())
+	if math.Abs(mean-want)/want > 0.25 {
+		t.Errorf("mean cross-round C = %v, want ~%v", mean, want)
+	}
+}
+
+func TestCrossRoundEstimateIrregularGraph(t *testing.T) {
+	// Star-heavy graph: degree weighting must keep calibration.
+	edges := []topology.Edge{}
+	const leaves = 40
+	for v := int64(1); v <= leaves; v++ {
+		edges = append(edges, topology.Edge{U: 0, V: v})
+		// ring among leaves so the graph is not bipartite-pathological
+		edges = append(edges, topology.Edge{U: v, V: 1 + v%leaves})
+	}
+	g := topology.MustAdj(leaves+1, edges)
+	s := rng.New(2)
+	var cs []float64
+	for trial := 0; trial < 15; trial++ {
+		w, err := NewWalkersStationary(g, 12, s.Split(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.CrossRoundEstimate(40, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, res.C)
+	}
+	mean := stats.Mean(cs)
+	want := 1 / float64(g.NumNodes())
+	if math.Abs(mean-want)/want > 0.3 {
+		t.Errorf("mean cross-round C = %v, want ~%v (size %v vs %d)", mean, want, 1/mean, g.NumNodes())
+	}
+}
+
+func TestCrossRoundBeatsSameRoundAtEqualQueries(t *testing.T) {
+	// Section 6.3.3's hypothesis: using full paths extracts more
+	// signal from the same link-query budget. Compare the relative
+	// std of C across trials at identical (n, t).
+	g := topology.MustTorus(3, 9) // 729 nodes
+	s := rng.New(3)
+	const walkers, steps, trials = 16, 80, 25
+	var same, cross []float64
+	for trial := 0; trial < trials; trial++ {
+		w1, err := NewWalkersStationary(g, walkers, s.Split(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := w1.EstimateSize(steps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same = append(same, r1.C)
+
+		w2, err := NewWalkersStationary(g, walkers, s.Split(uint64(500+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := w2.CrossRoundEstimate(steps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cross = append(cross, r2.C)
+		if r1.Queries != r2.Queries {
+			t.Fatalf("query budgets differ: %d vs %d", r1.Queries, r2.Queries)
+		}
+	}
+	truth := 1 / float64(g.NumNodes())
+	rmseSame := rmse(same, truth)
+	rmseCross := rmse(cross, truth)
+	if rmseCross >= rmseSame {
+		t.Errorf("cross-round RMSE %v not below same-round RMSE %v at equal queries", rmseCross, rmseSame)
+	}
+}
+
+func rmse(xs []float64, truth float64) float64 {
+	var se float64
+	for _, x := range xs {
+		d := x - truth
+		se += d * d
+	}
+	return math.Sqrt(se / float64(len(xs)))
+}
+
+func TestCrossRoundValidation(t *testing.T) {
+	g := topology.MustTorus(3, 4)
+	s := rng.New(4)
+	w, err := NewWalkersStationary(g, 5, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.CrossRoundEstimate(0, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+}
+
+func TestCrossRoundZeroCollisions(t *testing.T) {
+	// Tiny walker count on a large graph: paths may never intersect;
+	// the size estimate must be +Inf, not a division panic.
+	g := topology.MustTorus(3, 31) // ~30k nodes
+	s := rng.New(5)
+	w, err := NewWalkersStationary(g, 2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.CrossRoundEstimate(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.C == 0 && !math.IsInf(res.Size, 1) {
+		t.Errorf("zero collisions but size = %v, want +Inf", res.Size)
+	}
+}

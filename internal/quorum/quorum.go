@@ -1,0 +1,203 @@
+// Package quorum implements threshold detection on top of
+// encounter-rate density estimation — the paper's motivating ant
+// behavior (Temnothorax quorum sensing during house-hunting, [Pra05],
+// discussed in Sections 1 and 6.2). An agent at a candidate nest site
+// must decide whether the local population density exceeds a quorum
+// threshold theta; per Section 6.2, the required round count depends
+// on the detection threshold rather than the true density.
+//
+// The package provides one-shot decisions (Decide), the
+// threshold-parameterized round bound (DetectionRounds), collective
+// majority voting, and a streaming Detector with hysteresis for
+// agents that monitor density continuously.
+package quorum
+
+import (
+	"fmt"
+	"math"
+
+	"antdensity/internal/core"
+	"antdensity/internal/sim"
+	"antdensity/internal/topology"
+)
+
+// mustTorus caches nothing; it simply builds the 2-D torus used by
+// DetectionCurve and panics on invalid sides (callers pass constants).
+func mustTorus(side int64) *topology.Torus {
+	return topology.MustTorus(2, side)
+}
+
+// Decide runs Algorithm 1 for t rounds on w and returns each agent's
+// quorum vote: true iff its density estimate reaches threshold.
+func Decide(w *sim.World, threshold float64, t int, opts ...core.Option) ([]bool, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("quorum: threshold must be positive, got %v", threshold)
+	}
+	ests, err := core.Algorithm1(w, t, opts...)
+	if err != nil {
+		return nil, err
+	}
+	votes := make([]bool, len(ests))
+	for i, e := range ests {
+		votes[i] = e >= threshold
+	}
+	return votes, nil
+}
+
+// DetectionRounds returns a round count sufficient to distinguish
+// d >= (1+eps)*threshold from d <= (1-eps)*threshold with probability
+// 1-delta on the two-dimensional torus. Following the Section 6.2
+// observation, it is Theorem 1's bound with the density replaced by
+// the threshold: an agent need not know d to size its experiment,
+// only the quorum level it must detect.
+func DetectionRounds(threshold, eps, delta, c2 float64) int {
+	return core.TheoremOneRounds(eps, delta, threshold, c2)
+}
+
+// MajorityVote reports whether more than half of the votes are true.
+// House-hunting colonies effectively aggregate many scouts' individual
+// quorum assessments; majority voting models the simplest aggregate.
+func MajorityVote(votes []bool) bool {
+	yes := 0
+	for _, v := range votes {
+		if v {
+			yes++
+		}
+	}
+	return 2*yes > len(votes)
+}
+
+// VoteFraction returns the fraction of true votes.
+func VoteFraction(votes []bool) float64 {
+	if len(votes) == 0 {
+		return 0
+	}
+	yes := 0
+	for _, v := range votes {
+		if v {
+			yes++
+		}
+	}
+	return float64(yes) / float64(len(votes))
+}
+
+// Detector is a streaming quorum detector with hysteresis: it
+// accumulates an agent's per-round collision counts and reports state
+// transitions only when the running estimate crosses the enter
+// threshold (upward) or the exit threshold (downward). Hysteresis
+// (exit < enter) prevents flapping when the density sits near the
+// quorum level.
+//
+// The zero value is not usable; construct with NewDetector.
+type Detector struct {
+	enter float64
+	exit  float64
+
+	rounds     int
+	collisions int64
+	inQuorum   bool
+	// warmup rounds are ignored before the detector may first fire,
+	// avoiding spurious triggers off tiny samples.
+	warmup int
+}
+
+// NewDetector returns a streaming detector with the given enter and
+// exit thresholds and a warmup period (rounds before the first
+// decision; must be >= 1). It returns an error unless
+// 0 < exit <= enter.
+func NewDetector(enter, exit float64, warmup int) (*Detector, error) {
+	if exit <= 0 || exit > enter {
+		return nil, fmt.Errorf("quorum: need 0 < exit <= enter, got enter=%v exit=%v", enter, exit)
+	}
+	if warmup < 1 {
+		return nil, fmt.Errorf("quorum: warmup must be >= 1, got %d", warmup)
+	}
+	return &Detector{enter: enter, exit: exit, warmup: warmup}, nil
+}
+
+// Observe feeds one round's collision count. It returns the
+// detector's quorum state after the update.
+func (d *Detector) Observe(count int) bool {
+	if count < 0 {
+		panic(fmt.Sprintf("quorum: negative collision count %d", count))
+	}
+	d.rounds++
+	d.collisions += int64(count)
+	if d.rounds < d.warmup {
+		return d.inQuorum
+	}
+	est := d.Estimate()
+	if d.inQuorum {
+		if est < d.exit {
+			d.inQuorum = false
+		}
+	} else if est >= d.enter {
+		d.inQuorum = true
+	}
+	return d.inQuorum
+}
+
+// Estimate returns the running encounter-rate density estimate c/r,
+// or 0 before any round was observed.
+func (d *Detector) Estimate() float64 {
+	if d.rounds == 0 {
+		return 0
+	}
+	return float64(d.collisions) / float64(d.rounds)
+}
+
+// Rounds returns the number of observed rounds.
+func (d *Detector) Rounds() int { return d.rounds }
+
+// InQuorum returns the current hysteresis state.
+func (d *Detector) InQuorum() bool { return d.inQuorum }
+
+// Reset clears the detector's counters and state.
+func (d *Detector) Reset() {
+	d.rounds = 0
+	d.collisions = 0
+	d.inQuorum = false
+}
+
+// DetectionCurve measures the probability that an agent declares
+// quorum as a function of the true density, at a fixed threshold and
+// horizon — the psychometric curve of quorum sensing. For each
+// density ratio r in ratios, it simulates trials worlds with density
+// approximately r*threshold on the given torus side and records the
+// fraction of agents voting quorum.
+func DetectionCurve(side int64, threshold float64, t int, ratios []float64, trials int, seed uint64) ([]float64, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("quorum: t must be >= 1, got %d", t)
+	}
+	out := make([]float64, len(ratios))
+	for ri, r := range ratios {
+		a := side * side
+		agents := int(math.Round(r*threshold*float64(a))) + 1
+		if agents < 1 {
+			agents = 1
+		}
+		var votesYes, votesAll int
+		for trial := 0; trial < trials; trial++ {
+			w, err := sim.NewWorld(sim.Config{
+				Graph:     mustTorus(side),
+				NumAgents: agents,
+				Seed:      seed + uint64(ri)<<32 + uint64(trial),
+			})
+			if err != nil {
+				return nil, err
+			}
+			votes, err := Decide(w, threshold, t)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range votes {
+				votesAll++
+				if v {
+					votesYes++
+				}
+			}
+		}
+		out[ri] = float64(votesYes) / float64(votesAll)
+	}
+	return out, nil
+}

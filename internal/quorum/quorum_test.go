@@ -1,0 +1,196 @@
+package quorum
+
+import (
+	"math"
+	"testing"
+
+	"antdensity/internal/sim"
+	"antdensity/internal/topology"
+)
+
+func TestDecideSeparatesDensities(t *testing.T) {
+	// theta = 0.1; worlds at d = 0.2 should mostly vote yes, worlds
+	// at d = 0.05 mostly no.
+	g := topology.MustTorus(2, 20) // A = 400
+	const threshold = 0.1
+	votesAt := func(agents int, seed uint64) float64 {
+		var yes, all int
+		for trial := 0; trial < 4; trial++ {
+			w := sim.MustWorld(sim.Config{Graph: g, NumAgents: agents, Seed: seed + uint64(trial)})
+			votes, err := Decide(w, threshold, 3000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range votes {
+				all++
+				if v {
+					yes++
+				}
+			}
+		}
+		return float64(yes) / float64(all)
+	}
+	high := votesAt(81, 10) // d = 0.2
+	low := votesAt(21, 20)  // d = 0.05
+	if high < 0.85 {
+		t.Errorf("high-density yes fraction = %v, want > 0.85", high)
+	}
+	if low > 0.15 {
+		t.Errorf("low-density yes fraction = %v, want < 0.15", low)
+	}
+}
+
+func TestDecideValidation(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 2, Seed: 1})
+	if _, err := Decide(w, 0, 10); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := Decide(w, 0.1, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+}
+
+func TestDetectionRoundsThresholdScaling(t *testing.T) {
+	// Halving the threshold should roughly double the rounds (up to
+	// log factors) — t depends on theta, not on the unknown d.
+	lo := DetectionRounds(0.05, 0.2, 0.05, 1)
+	hi := DetectionRounds(0.1, 0.2, 0.05, 1)
+	if lo <= hi {
+		t.Errorf("rounds at theta=0.05 (%d) not above theta=0.1 (%d)", lo, hi)
+	}
+	ratio := float64(lo) / float64(hi)
+	if ratio < 1.5 || ratio > 4 {
+		t.Errorf("rounds ratio = %v, want ~2 up to logs", ratio)
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	tests := []struct {
+		name  string
+		votes []bool
+		want  bool
+	}{
+		{name: "empty", votes: nil, want: false},
+		{name: "unanimous yes", votes: []bool{true, true}, want: true},
+		{name: "tie is no", votes: []bool{true, false}, want: false},
+		{name: "majority yes", votes: []bool{true, true, false}, want: true},
+		{name: "majority no", votes: []bool{true, false, false}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := MajorityVote(tt.votes); got != tt.want {
+				t.Errorf("MajorityVote(%v) = %v, want %v", tt.votes, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVoteFraction(t *testing.T) {
+	if got := VoteFraction(nil); got != 0 {
+		t.Errorf("empty VoteFraction = %v", got)
+	}
+	if got := VoteFraction([]bool{true, false, true, true}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("VoteFraction = %v, want 0.75", got)
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(0.1, 0.2, 5); err == nil {
+		t.Error("exit > enter accepted")
+	}
+	if _, err := NewDetector(0.1, 0, 5); err == nil {
+		t.Error("zero exit accepted")
+	}
+	if _, err := NewDetector(0.1, 0.05, 0); err == nil {
+		t.Error("zero warmup accepted")
+	}
+}
+
+func TestDetectorHysteresis(t *testing.T) {
+	d, err := NewDetector(0.5, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup round: even a huge count must not trigger.
+	if d.Observe(10) {
+		t.Fatal("triggered during warmup")
+	}
+	// Estimate now 10/1... after round 2 with count 0: est 5.0 >= 0.5
+	if !d.Observe(0) {
+		t.Fatal("did not enter quorum after warmup with high estimate")
+	}
+	// Feed zeros; estimate decays toward 0 and must cross exit=0.25
+	// before the state drops.
+	dropped := false
+	for i := 0; i < 100; i++ {
+		in := d.Observe(0)
+		if !in {
+			dropped = true
+			if est := d.Estimate(); est >= 0.25 {
+				t.Fatalf("dropped at estimate %v, above exit threshold", est)
+			}
+			break
+		}
+		// While still in quorum the estimate must be above exit.
+		if est := d.Estimate(); est < 0.25 {
+			t.Fatalf("estimate %v below exit but still in quorum after update", est)
+		}
+	}
+	if !dropped {
+		t.Fatal("never exited quorum on all-zero stream")
+	}
+}
+
+func TestDetectorEstimateAndReset(t *testing.T) {
+	d, err := NewDetector(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Estimate() != 0 {
+		t.Error("fresh estimate not 0")
+	}
+	d.Observe(3)
+	d.Observe(1)
+	if got := d.Estimate(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Estimate = %v, want 2", got)
+	}
+	if d.Rounds() != 2 {
+		t.Errorf("Rounds = %d, want 2", d.Rounds())
+	}
+	d.Reset()
+	if d.Rounds() != 0 || d.Estimate() != 0 || d.InQuorum() {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestDetectorPanicsOnNegativeCount(t *testing.T) {
+	d, err := NewDetector(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	d.Observe(-1)
+}
+
+func TestDetectionCurveMonotone(t *testing.T) {
+	// P[declare quorum] should increase with the density ratio and be
+	// near 0 / 1 at the extremes.
+	curve, err := DetectionCurve(20, 0.1, 1500, []float64{0.3, 1.0, 2.5}, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[0] > 0.25 {
+		t.Errorf("P at ratio 0.3 = %v, want < 0.25", curve[0])
+	}
+	if curve[2] < 0.75 {
+		t.Errorf("P at ratio 2.5 = %v, want > 0.75", curve[2])
+	}
+	if !(curve[0] < curve[1] && curve[1] < curve[2]) {
+		t.Errorf("detection curve not monotone: %v", curve)
+	}
+}

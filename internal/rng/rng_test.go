@@ -1,0 +1,257 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: streams with equal seeds diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams with different seeds produced %d equal draws out of 64", same)
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c1again := parent.Split(1)
+	c2 := parent.Split(2)
+	for i := 0; i < 100; i++ {
+		v1, v1b, v2 := c1.Uint64(), c1again.Uint64(), c2.Uint64()
+		if v1 != v1b {
+			t.Fatalf("draw %d: Split(1) not deterministic", i)
+		}
+		if v1 == v2 {
+			t.Fatalf("draw %d: Split(1) and Split(2) coincide", i)
+		}
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split(5)
+	if a.Uint64() != b.Uint64() {
+		t.Error("Split advanced the parent stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	s := New(1)
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			s.Intn(n)
+		}()
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared style sanity check: 10 buckets, 100k draws. With
+	// uniform draws each bucket expects 10000 +- ~300 (3 sigma ~ 285).
+	s := New(11)
+	const buckets, draws = 10, 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from %v", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(6)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	tests := []struct {
+		p    float64
+		want float64 // expected acceptance frequency
+	}{
+		{p: -0.5, want: 0},
+		{p: 0, want: 0},
+		{p: 0.25, want: 0.25},
+		{p: 0.75, want: 0.75},
+		{p: 1, want: 1},
+		{p: 1.5, want: 1},
+	}
+	for _, tt := range tests {
+		s := New(13)
+		const n = 100000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if s.Bernoulli(tt.p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-tt.want) > 0.01 {
+			t.Errorf("Bernoulli(%v): frequency %v, want ~%v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(17)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(19)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	s := New(23)
+	const n, draws = 5, 50000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[s.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("first element %d: count %d, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestUint64nProperty(t *testing.T) {
+	// Property: Uint64n(n) < n for all positive n.
+	s := New(29)
+	f := func(n uint64, steps uint8) bool {
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < int(steps%16)+1; i++ {
+			if s.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	tests := []struct {
+		x, y   uint64
+		hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, tt := range tests {
+		hi, lo := mul64(tt.x, tt.y)
+		if hi != tt.hi || lo != tt.lo {
+			t.Errorf("mul64(%d, %d) = (%d, %d), want (%d, %d)", tt.x, tt.y, hi, lo, tt.hi, tt.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn4(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Intn(4)
+	}
+	_ = sink
+}

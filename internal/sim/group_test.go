@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"antdensity/internal/topology"
+)
+
+func TestGroupBookkeeping(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	w := MustWorld(Config{Graph: g, NumAgents: 10, Seed: 1})
+	if w.GroupSize(1) != 0 {
+		t.Fatal("fresh world has group members")
+	}
+	w.SetGroup(0, 1)
+	w.SetGroup(1, 1)
+	w.SetGroup(2, 2)
+	if w.GroupSize(1) != 2 || w.GroupSize(2) != 1 {
+		t.Errorf("GroupSize = %d, %d; want 2, 1", w.GroupSize(1), w.GroupSize(2))
+	}
+	w.SetGroup(0, 2) // move between groups
+	if w.GroupSize(1) != 1 || w.GroupSize(2) != 2 {
+		t.Errorf("after move: GroupSize = %d, %d; want 1, 2", w.GroupSize(1), w.GroupSize(2))
+	}
+	w.SetGroup(0, 0) // ungroup
+	if w.GroupSize(2) != 1 {
+		t.Errorf("after ungroup: GroupSize(2) = %d, want 1", w.GroupSize(2))
+	}
+	if w.Group(1) != 1 || w.Group(0) != 0 {
+		t.Errorf("Group lookups wrong: %d, %d", w.Group(1), w.Group(0))
+	}
+}
+
+func TestSetGroupPanicsOnNegative(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	w := MustWorld(Config{Graph: g, NumAgents: 2, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	w.SetGroup(0, -1)
+}
+
+func TestCountInGroupMatchesBruteForce(t *testing.T) {
+	g := topology.MustTorus(2, 4) // tiny: collisions guaranteed
+	w := MustWorld(Config{Graph: g, NumAgents: 30, Seed: 5})
+	for i := 0; i < 30; i++ {
+		w.SetGroup(i, 1+i%3)
+	}
+	for r := 0; r < 15; r++ {
+		w.Step()
+		for i := 0; i < w.NumAgents(); i++ {
+			for group := 1; group <= 3; group++ {
+				want := 0
+				for j := 0; j < w.NumAgents(); j++ {
+					if j != i && w.Group(j) == group && w.Pos(j) == w.Pos(i) {
+						want++
+					}
+				}
+				if got := w.CountInGroup(i, group); got != want {
+					t.Fatalf("round %d agent %d group %d: CountInGroup = %d, brute force = %d", r, i, group, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountInGroupPanicsOnZero(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	w := MustWorld(Config{Graph: g, NumAgents: 2, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	w.CountInGroup(0, 0)
+}
+
+func TestGroupDensityFor(t *testing.T) {
+	g := topology.MustTorus(2, 10) // A = 100
+	w := MustWorld(Config{Graph: g, NumAgents: 10, Seed: 2})
+	for i := 0; i < 4; i++ {
+		w.SetGroup(i, 1)
+	}
+	if got := w.GroupDensityFor(9, 1); math.Abs(got-0.04) > 1e-12 {
+		t.Errorf("outside observer density = %v, want 0.04", got)
+	}
+	if got := w.GroupDensityFor(0, 1); math.Abs(got-0.03) > 1e-12 {
+		t.Errorf("member observer density = %v, want 0.03", got)
+	}
+}
+
+func TestGroupEncounterRateTracksGroupDensity(t *testing.T) {
+	// Corollary 3 extended to group-specific counting: the per-round
+	// expected group encounter rate equals the group density.
+	g := topology.MustTorus(2, 10) // A = 100
+	w := MustWorld(Config{Graph: g, NumAgents: 21, Seed: 7})
+	for i := 0; i < 10; i++ {
+		w.SetGroup(i, 1)
+	}
+	const rounds = 30000
+	total := 0
+	for r := 0; r < rounds; r++ {
+		w.Step()
+		total += w.CountInGroup(20, 1) // agent 20 is not in group 1
+	}
+	got := float64(total) / rounds
+	want := w.GroupDensityFor(20, 1) // 0.10
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("group encounter rate = %v, want ~%v", got, want)
+	}
+}

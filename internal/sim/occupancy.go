@@ -1,0 +1,54 @@
+package sim
+
+import "sort"
+
+// This file holds the alternative collision-counting implementation
+// used as an ablation (DESIGN.md design choice #1): counting by
+// sorting the position array instead of hashing it. Both paths must
+// agree exactly; CountsAll (hash) is the default because it wins at
+// the agent counts the experiments use, while sorting avoids hash
+// overhead for very large, collision-dense worlds.
+
+// CountsAll returns every agent's count(position) for the current
+// round in one pass over the occupancy index — equivalent to calling
+// Count(i) for all i, but returning a fresh slice.
+func (w *World) CountsAll() []int {
+	if w.occDirty {
+		w.rebuildOcc()
+	}
+	out := make([]int, len(w.pos))
+	for i, p := range w.pos {
+		out[i] = int(w.occ[p].total) - 1
+	}
+	return out
+}
+
+// CountsAllSorted computes the same per-agent counts as CountsAll by
+// sorting a copy of the position array and scanning runs of equal
+// positions. It exists to validate and benchmark the hash-based
+// occupancy index against a comparison-based alternative.
+func (w *World) CountsAllSorted() []int {
+	n := len(w.pos)
+	type slot struct {
+		pos   int64
+		agent int32
+	}
+	slots := make([]slot, n)
+	for i, p := range w.pos {
+		slots[i] = slot{pos: p, agent: int32(i)}
+	}
+	sort.Slice(slots, func(a, b int) bool { return slots[a].pos < slots[b].pos })
+	out := make([]int, n)
+	for start := 0; start < n; {
+		end := start + 1
+		for end < n && slots[end].pos == slots[start].pos {
+			end++
+		}
+		occ := end - start
+		for k := start; k < end; k++ {
+			out[slots[k].agent] = occ - 1
+		}
+		start = end
+	}
+	return out
+}

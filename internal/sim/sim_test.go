@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"antdensity/internal/topology"
+)
+
+func newTestWorld(t *testing.T, cfg Config) *World {
+	t.Helper()
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "nil graph", cfg: Config{NumAgents: 1}},
+		{name: "zero agents", cfg: Config{Graph: g}},
+		{name: "negative agents", cfg: Config{Graph: g, NumAgents: -5}},
+		{name: "bad placement", cfg: Config{Graph: g, NumAgents: 1, Placement: FixedPlacement(1000)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewWorld(tt.cfg); err == nil {
+				t.Error("NewWorld succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	g := topology.MustTorus(2, 20)
+	run := func() []int64 {
+		w := MustWorld(Config{Graph: g, NumAgents: 50, Seed: 42})
+		for r := 0; r < 30; r++ {
+			w.Step()
+		}
+		return w.Positions()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("agent %d diverged across identical runs: %d != %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWorldSeedsDiffer(t *testing.T) {
+	g := topology.MustTorus(2, 20)
+	w1 := MustWorld(Config{Graph: g, NumAgents: 20, Seed: 1})
+	w2 := MustWorld(Config{Graph: g, NumAgents: 20, Seed: 2})
+	same := 0
+	for i := 0; i < 20; i++ {
+		if w1.Pos(i) == w2.Pos(i) {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Error("different seeds produced identical placements")
+	}
+}
+
+func TestDensityConvention(t *testing.T) {
+	// The paper defines d = n/A for n+1 agents (Section 2.1).
+	g := topology.MustTorus(2, 10) // A = 100
+	w := MustWorld(Config{Graph: g, NumAgents: 11, Seed: 1})
+	if got, want := w.Density(), 0.10; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Density = %v, want %v", got, want)
+	}
+	// A single agent sees density 0 (the paper's single-agent case).
+	w1 := MustWorld(Config{Graph: g, NumAgents: 1, Seed: 1})
+	if got := w1.Density(); got != 0 {
+		t.Errorf("single-agent Density = %v, want 0", got)
+	}
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	g := topology.MustTorus(2, 5) // small grid forces collisions
+	w := MustWorld(Config{Graph: g, NumAgents: 30, Seed: 7})
+	for r := 0; r < 20; r++ {
+		w.Step()
+		for i := 0; i < w.NumAgents(); i++ {
+			want := 0
+			for j := 0; j < w.NumAgents(); j++ {
+				if j != i && w.Pos(j) == w.Pos(i) {
+					want++
+				}
+			}
+			if got := w.Count(i); got != want {
+				t.Fatalf("round %d agent %d: Count = %d, brute force = %d", r, i, got, want)
+			}
+		}
+	}
+}
+
+func TestCountTaggedMatchesBruteForce(t *testing.T) {
+	g := topology.MustTorus(2, 4)
+	w := MustWorld(Config{Graph: g, NumAgents: 25, Seed: 9})
+	for i := 0; i < 25; i += 3 {
+		w.SetTagged(i, true)
+	}
+	for r := 0; r < 15; r++ {
+		w.Step()
+		for i := 0; i < w.NumAgents(); i++ {
+			want := 0
+			for j := 0; j < w.NumAgents(); j++ {
+				if j != i && w.Tagged(j) && w.Pos(j) == w.Pos(i) {
+					want++
+				}
+			}
+			if got := w.CountTagged(i); got != want {
+				t.Fatalf("round %d agent %d: CountTagged = %d, brute force = %d", r, i, got, want)
+			}
+		}
+	}
+}
+
+func TestTaggedBookkeeping(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	w := MustWorld(Config{Graph: g, NumAgents: 10, Seed: 3})
+	if w.NumTagged() != 0 {
+		t.Fatalf("fresh world has %d tagged", w.NumTagged())
+	}
+	w.SetTagged(3, true)
+	w.SetTagged(4, true)
+	w.SetTagged(3, true) // idempotent
+	if w.NumTagged() != 2 {
+		t.Errorf("NumTagged = %d, want 2", w.NumTagged())
+	}
+	w.SetTagged(3, false)
+	if w.NumTagged() != 1 {
+		t.Errorf("NumTagged after untag = %d, want 1", w.NumTagged())
+	}
+	// TaggedDensityFor excludes self.
+	w.SetTagged(3, true)
+	dTagged := w.TaggedDensityFor(3) // tagged observer: 1 other tagged / 100
+	dOther := w.TaggedDensityFor(0)  // untagged observer: 2 tagged / 100
+	if math.Abs(dTagged-0.01) > 1e-12 || math.Abs(dOther-0.02) > 1e-12 {
+		t.Errorf("TaggedDensityFor = %v, %v; want 0.01, 0.02", dTagged, dOther)
+	}
+}
+
+func TestStationaryPolicy(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	w := MustWorld(Config{Graph: g, NumAgents: 5, Seed: 5, Policy: Stationary{}})
+	before := w.Positions()
+	for r := 0; r < 10; r++ {
+		w.Step()
+	}
+	after := w.Positions()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("stationary agent %d moved from %d to %d", i, before[i], after[i])
+		}
+	}
+}
+
+func TestDriftPolicyIsDeterministicCycle(t *testing.T) {
+	g := topology.MustTorus(1, 6)
+	w := MustWorld(Config{
+		Graph: g, NumAgents: 1, Seed: 1,
+		Placement: FixedPlacement(0),
+		Policy:    Drift{Direction: 0},
+	})
+	for r := 1; r <= 12; r++ {
+		w.Step()
+		want := int64(r % 6)
+		if got := w.Pos(0); got != want {
+			t.Fatalf("round %d: drift agent at %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestLazyPolicyStayFraction(t *testing.T) {
+	g := topology.MustTorus(2, 100)
+	w := MustWorld(Config{Graph: g, NumAgents: 1, Seed: 11, Policy: Lazy{StayProb: 0.3}})
+	stays := 0
+	const rounds = 20000
+	for r := 0; r < rounds; r++ {
+		before := w.Pos(0)
+		w.Step()
+		if w.Pos(0) == before {
+			stays++
+		}
+	}
+	got := float64(stays) / rounds
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("lazy stay fraction = %v, want ~0.3", got)
+	}
+}
+
+func TestBiasedPolicyFrequencies(t *testing.T) {
+	g := topology.MustTorus(1, 1000)
+	// Strongly prefer +x (index 0) over -x (index 1).
+	biased, err := NewBiased([]float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := MustWorld(Config{Graph: g, NumAgents: 1, Seed: 13, Placement: FixedPlacement(500), Policy: biased})
+	plus := 0
+	const rounds = 20000
+	for r := 0; r < rounds; r++ {
+		before := w.Pos(0)
+		w.Step()
+		if w.Pos(0) == g.Neighbor(before, 0) {
+			plus++
+		}
+	}
+	got := float64(plus) / rounds
+	if math.Abs(got-0.75) > 0.02 {
+		t.Errorf("biased +x fraction = %v, want ~0.75", got)
+	}
+}
+
+func TestNewBiasedValidation(t *testing.T) {
+	if _, err := NewBiased([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewBiased([]float64{0, 0}); err == nil {
+		t.Error("zero-sum weights accepted")
+	}
+}
+
+func TestClusteredPlacement(t *testing.T) {
+	g := topology.MustTorus(2, 100) // A = 10000
+	w := MustWorld(Config{Graph: g, NumAgents: 200, Seed: 17, Placement: ClusteredPlacement(0.1)})
+	for i := 0; i < w.NumAgents(); i++ {
+		if w.Pos(i) >= 1000 {
+			t.Fatalf("clustered agent %d at %d, want < 1000", i, w.Pos(i))
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ClusteredPlacement(0) did not panic")
+			}
+		}()
+		ClusteredPlacement(0)
+	}()
+}
+
+func TestUniformPlacementCoversGraph(t *testing.T) {
+	g := topology.MustTorus(1, 10)
+	w := MustWorld(Config{Graph: g, NumAgents: 2000, Seed: 19})
+	counts := make([]int, 10)
+	for i := 0; i < w.NumAgents(); i++ {
+		counts[w.Pos(i)]++
+	}
+	for node, c := range counts {
+		if c < 120 || c > 280 { // expect ~200 per node
+			t.Errorf("node %d has %d agents, want ~200", node, c)
+		}
+	}
+}
+
+func TestPerAgentPolicyOverride(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	w := MustWorld(Config{Graph: g, NumAgents: 2, Seed: 23, Policy: Stationary{}})
+	w.SetPolicy(1, RandomWalk{})
+	p0, p1 := w.Pos(0), w.Pos(1)
+	moved := false
+	for r := 0; r < 20; r++ {
+		w.Step()
+		if w.Pos(0) != p0 {
+			t.Fatal("stationary agent moved")
+		}
+		if w.Pos(1) != p1 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("random-walk agent never moved in 20 rounds")
+	}
+}
+
+func TestRoundCounter(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	w := MustWorld(Config{Graph: g, NumAgents: 1, Seed: 1})
+	for r := 1; r <= 5; r++ {
+		w.Step()
+		if w.Round() != r {
+			t.Fatalf("Round = %d, want %d", w.Round(), r)
+		}
+	}
+}
+
+func TestExpectedCollisionRateIsDensity(t *testing.T) {
+	// Corollary 3 at the world level: per-round expected count equals
+	// d = n/A. Uses a small torus, many rounds.
+	g := topology.MustTorus(2, 10) // A=100
+	const agents = 11              // d = 0.1
+	w := MustWorld(Config{Graph: g, NumAgents: agents, Seed: 29})
+	total := 0
+	const rounds = 30000
+	for r := 0; r < rounds; r++ {
+		w.Step()
+		total += w.Count(0)
+	}
+	got := float64(total) / rounds
+	want := w.Density()
+	// Collisions are highly correlated across rounds; allow a loose
+	// band around the expectation.
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("mean encounter rate = %v, want ~%v", got, want)
+	}
+}
+
+func BenchmarkStep1000Agents(b *testing.B) {
+	g := topology.MustTorus(2, 1000)
+	w := MustWorld(Config{Graph: g, NumAgents: 1000, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+}
+
+func BenchmarkStepAndCount1000Agents(b *testing.B) {
+	g := topology.MustTorus(2, 1000)
+	w := MustWorld(Config{Graph: g, NumAgents: 1000, Seed: 1})
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		w.Step()
+		for a := 0; a < w.NumAgents(); a++ {
+			sink += w.Count(a)
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"fmt"
+
+	"antdensity/internal/rng"
+	"antdensity/internal/topology"
+)
+
+// Placement assigns agent i an initial position. The paper's model
+// places each agent independently and uniformly at random, which
+// UniformPlacement implements; ClusteredPlacement realizes the
+// non-uniform setting discussed in Section 6.1.
+type Placement func(i int, g topology.Graph, s *rng.Stream) int64
+
+// UniformPlacement places every agent at an independent uniformly
+// random node — the paper's standing assumption (Section 2).
+func UniformPlacement(_ int, g topology.Graph, s *rng.Stream) int64 {
+	return topology.RandomNode(g, s)
+}
+
+// ClusteredPlacement returns a Placement that confines initial
+// positions to the fraction frac of the node space [0, frac*A). On a
+// torus this is a contiguous slab, modeling the "many agents
+// concentrated in a small area" scenario of Section 6.1.
+func ClusteredPlacement(frac float64) Placement {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("sim: cluster fraction %v outside (0, 1]", frac))
+	}
+	return func(_ int, g topology.Graph, s *rng.Stream) int64 {
+		span := int64(frac * float64(g.NumNodes()))
+		if span < 1 {
+			span = 1
+		}
+		return int64(s.Uint64n(uint64(span)))
+	}
+}
+
+// FixedPlacement places every agent at the given node.
+func FixedPlacement(node int64) Placement {
+	return func(_ int, _ topology.Graph, _ *rng.Stream) int64 { return node }
+}
+
+// Config configures a World.
+type Config struct {
+	// Graph is the topology agents move on. Required.
+	Graph topology.Graph
+	// NumAgents is the total number of agents (the paper's n+1).
+	// Must be >= 1.
+	NumAgents int
+	// Seed determines all randomness in the world.
+	Seed uint64
+	// Placement assigns initial positions; nil means
+	// UniformPlacement.
+	Placement Placement
+	// Policy is the default movement policy for all agents; nil means
+	// RandomWalk. Individual agents can be overridden with
+	// World.SetPolicy.
+	Policy Policy
+}
+
+// World is a synchronous multi-agent simulation. It tracks agent
+// positions, steps all agents once per round, and serves the model's
+// count(position) collision queries from a per-round occupancy index.
+type World struct {
+	graph    topology.Graph
+	policies []Policy
+	pos      []int64
+	tagged   []bool
+	groups   []int32
+	streams  []*rng.Stream
+	occ      map[int64]cell
+	occGroup map[groupKey]int32
+	occDirty bool
+	round    int
+	numTag   int
+	numGroup map[int32]int
+}
+
+type cell struct {
+	total  int32
+	tagged int32
+}
+
+// groupKey indexes the per-group occupancy map by (position, group).
+type groupKey struct {
+	pos   int64
+	group int32
+}
+
+// NewWorld creates a world per cfg, places all agents, and builds the
+// initial occupancy index (the paper counts collisions at the end of
+// each round, after stepping; position sensing before the first Step
+// reflects initial placement).
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("sim: Config.Graph is required")
+	}
+	if cfg.NumAgents < 1 {
+		return nil, fmt.Errorf("sim: NumAgents must be >= 1, got %d", cfg.NumAgents)
+	}
+	placement := cfg.Placement
+	if placement == nil {
+		placement = UniformPlacement
+	}
+	var policy Policy = RandomWalk{}
+	if cfg.Policy != nil {
+		policy = cfg.Policy
+	}
+	root := rng.New(cfg.Seed)
+	w := &World{
+		graph:    cfg.Graph,
+		policies: make([]Policy, cfg.NumAgents),
+		pos:      make([]int64, cfg.NumAgents),
+		tagged:   make([]bool, cfg.NumAgents),
+		groups:   make([]int32, cfg.NumAgents),
+		streams:  make([]*rng.Stream, cfg.NumAgents),
+		occ:      make(map[int64]cell, cfg.NumAgents),
+		occGroup: make(map[groupKey]int32),
+		numGroup: make(map[int32]int),
+	}
+	for i := 0; i < cfg.NumAgents; i++ {
+		w.policies[i] = policy
+		w.streams[i] = root.Split(uint64(i))
+		w.pos[i] = placement(i, cfg.Graph, w.streams[i])
+		if w.pos[i] < 0 || w.pos[i] >= cfg.Graph.NumNodes() {
+			return nil, fmt.Errorf("sim: placement put agent %d at %d, outside [0, %d)", i, w.pos[i], cfg.Graph.NumNodes())
+		}
+	}
+	w.occDirty = true
+	return w, nil
+}
+
+// MustWorld is like NewWorld but panics on error; for tests and
+// examples with constant configs.
+func MustWorld(cfg Config) *World {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Graph returns the topology agents move on.
+func (w *World) Graph() topology.Graph { return w.graph }
+
+// NumAgents returns the total number of agents.
+func (w *World) NumAgents() int { return len(w.pos) }
+
+// Round returns the number of completed rounds.
+func (w *World) Round() int { return w.round }
+
+// Pos returns the current position of agent i.
+func (w *World) Pos(i int) int64 { return w.pos[i] }
+
+// SetPolicy overrides the movement policy of agent i.
+func (w *World) SetPolicy(i int, p Policy) { w.policies[i] = p }
+
+// SetTagged marks agent i as carrying the property of interest
+// (Section 5.2). Tagged counts are served by CountTagged.
+func (w *World) SetTagged(i int, tagged bool) {
+	if w.tagged[i] != tagged {
+		w.tagged[i] = tagged
+		if tagged {
+			w.numTag++
+		} else {
+			w.numTag--
+		}
+		w.occDirty = true
+	}
+}
+
+// Tagged reports whether agent i is tagged.
+func (w *World) Tagged(i int) bool { return w.tagged[i] }
+
+// NumTagged returns the number of tagged agents.
+func (w *World) NumTagged() int { return w.numTag }
+
+// Density returns the population density from any single agent's
+// perspective: d = n/A where n is the number of *other* agents,
+// matching the paper's convention for n+1 total agents (Section 2.1).
+func (w *World) Density() float64 {
+	return float64(len(w.pos)-1) / float64(w.graph.NumNodes())
+}
+
+// TaggedDensityFor returns d_P from agent i's perspective: the number
+// of other tagged agents divided by A.
+func (w *World) TaggedDensityFor(i int) float64 {
+	n := w.numTag
+	if w.tagged[i] {
+		n--
+	}
+	return float64(n) / float64(w.graph.NumNodes())
+}
+
+// Step advances the simulation one synchronous round: every agent
+// moves once according to its policy. Collision queries after Step
+// reflect the new positions, per the model's "collide in round r if
+// they have the same position at the end of the round".
+func (w *World) Step() {
+	for i := range w.pos {
+		w.pos[i] = w.policies[i].Step(w.graph, w.pos[i], w.streams[i])
+	}
+	w.round++
+	w.occDirty = true
+}
+
+// StepParallel advances one round using the given number of
+// goroutines. Because every agent steps from its own private stream,
+// the result is bit-identical to Step regardless of workers; use it
+// for worlds with hundreds of thousands of agents. workers < 2 falls
+// back to the serial path.
+func (w *World) StepParallel(workers int) {
+	if workers < 2 || len(w.pos) < 2*workers {
+		w.Step()
+		return
+	}
+	chunk := (len(w.pos) + workers - 1) / workers
+	done := make(chan struct{}, workers)
+	for g := 0; g < workers; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > len(w.pos) {
+			hi = len(w.pos)
+		}
+		go func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				w.pos[i] = w.policies[i].Step(w.graph, w.pos[i], w.streams[i])
+			}
+			done <- struct{}{}
+		}(lo, hi)
+	}
+	for g := 0; g < workers; g++ {
+		<-done
+	}
+	w.round++
+	w.occDirty = true
+}
+
+// rebuildOcc refreshes the occupancy indexes.
+func (w *World) rebuildOcc() {
+	clear(w.occ)
+	for i, p := range w.pos {
+		c := w.occ[p]
+		c.total++
+		if w.tagged[i] {
+			c.tagged++
+		}
+		w.occ[p] = c
+	}
+	if len(w.numGroup) > 0 {
+		clear(w.occGroup)
+		for i, p := range w.pos {
+			if g := w.groups[i]; g != 0 {
+				w.occGroup[groupKey{pos: p, group: g}]++
+			}
+		}
+	}
+	w.occDirty = false
+}
+
+// SetGroup assigns agent i to a group. Group 0 is the default
+// "ungrouped" state; positive groups support the task-allocation
+// application (Section 1 / [Gor99]) where agents separately track
+// encounters with workers on each task. Groups are independent of the
+// boolean property tag.
+func (w *World) SetGroup(i int, group int) {
+	if group < 0 {
+		panic(fmt.Sprintf("sim: group must be >= 0, got %d", group))
+	}
+	g := int32(group)
+	old := w.groups[i]
+	if old == g {
+		return
+	}
+	if old != 0 {
+		w.numGroup[old]--
+		if w.numGroup[old] == 0 {
+			delete(w.numGroup, old)
+		}
+	}
+	if g != 0 {
+		w.numGroup[g]++
+	}
+	w.groups[i] = g
+	w.occDirty = true
+}
+
+// Group returns agent i's group (0 if unassigned).
+func (w *World) Group(i int) int { return int(w.groups[i]) }
+
+// GroupSize returns the number of agents currently in group.
+func (w *World) GroupSize(group int) int { return w.numGroup[int32(group)] }
+
+// CountInGroup returns the number of other agents of the given
+// positive group at agent i's current position — the per-task
+// encounter sensing used for task allocation.
+func (w *World) CountInGroup(i, group int) int {
+	if group <= 0 {
+		panic(fmt.Sprintf("sim: CountInGroup needs a positive group, got %d", group))
+	}
+	if w.occDirty {
+		w.rebuildOcc()
+	}
+	c := int(w.occGroup[groupKey{pos: w.pos[i], group: int32(group)}])
+	if int(w.groups[i]) == group {
+		c--
+	}
+	return c
+}
+
+// GroupDensityFor returns the density of agents in group from agent
+// i's perspective (other members of the group divided by A).
+func (w *World) GroupDensityFor(i, group int) float64 {
+	n := w.numGroup[int32(group)]
+	if int(w.groups[i]) == group {
+		n--
+	}
+	return float64(n) / float64(w.graph.NumNodes())
+}
+
+// Count implements the model's count(position) sensing for agent i:
+// the number of other agents at i's current position.
+func (w *World) Count(i int) int {
+	if w.occDirty {
+		w.rebuildOcc()
+	}
+	return int(w.occ[w.pos[i]].total) - 1
+}
+
+// CountTagged returns the number of other *tagged* agents at agent i's
+// position — the property-specific encounter sensing of Section 5.2
+// ("ants can detect this property ... and separately track encounters
+// with these agents").
+func (w *World) CountTagged(i int) int {
+	if w.occDirty {
+		w.rebuildOcc()
+	}
+	c := int(w.occ[w.pos[i]].tagged)
+	if w.tagged[i] {
+		c--
+	}
+	return c
+}
+
+// Positions returns a copy of all agent positions.
+func (w *World) Positions() []int64 {
+	out := make([]int64, len(w.pos))
+	copy(out, w.pos)
+	return out
+}

@@ -1,0 +1,185 @@
+// Package tasks implements encounter-rate-driven task allocation, the
+// harvester-ant behavior that motivates the paper ([Gor99], Sections 1
+// and 5.2): varying densities of workers successfully performing a
+// task trigger other workers to switch tasks, maintaining a target
+// allocation with no central control.
+//
+// Each agent belongs to one task (a sim group). In every epoch, all
+// agents random-walk and separately count encounters with workers of
+// each task, yielding per-task density estimates by Algorithm 1's
+// encounter-rate principle. An agent whose own task looks overstaffed
+// relative to the target allocation switches, with probability
+// proportional to the estimated surplus, to the task that looks most
+// understaffed. The colony-level allocation converges toward the
+// target using only pairwise collisions.
+package tasks
+
+import (
+	"fmt"
+
+	"antdensity/internal/rng"
+	"antdensity/internal/sim"
+)
+
+// Config parameterizes an allocation run.
+type Config struct {
+	// Targets is the desired fraction of agents per task; entries
+	// must be positive and sum to 1. Tasks are numbered 1..len.
+	Targets []float64
+	// Epochs is the number of estimate-then-switch cycles.
+	Epochs int
+	// RoundsPerEpoch is the number of random-walk rounds agents spend
+	// estimating densities in each epoch.
+	RoundsPerEpoch int
+	// MaxSwitchProb caps the per-epoch switching probability; lower
+	// values damp oscillation (0.3 is a good default; 0 means 0.3).
+	MaxSwitchProb float64
+	// Seed drives the switching randomness (world movement randomness
+	// comes from the world's own seed).
+	Seed uint64
+}
+
+// Result records an allocation run.
+type Result struct {
+	// History[e][k] is the fraction of agents on task k+1 after epoch
+	// e (History[0] is the initial allocation).
+	History [][]float64
+	// FinalL1 is the L1 distance between the final allocation and the
+	// targets.
+	FinalL1 float64
+	// Switches is the total number of task switches performed.
+	Switches int
+}
+
+// Validate checks cfg.
+func (cfg *Config) Validate() error {
+	if len(cfg.Targets) < 2 {
+		return fmt.Errorf("tasks: need at least 2 tasks, got %d", len(cfg.Targets))
+	}
+	sum := 0.0
+	for k, f := range cfg.Targets {
+		if f <= 0 {
+			return fmt.Errorf("tasks: target %d must be positive, got %v", k+1, f)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("tasks: targets must sum to 1, got %v", sum)
+	}
+	if cfg.Epochs < 1 {
+		return fmt.Errorf("tasks: epochs must be >= 1, got %d", cfg.Epochs)
+	}
+	if cfg.RoundsPerEpoch < 1 {
+		return fmt.Errorf("tasks: rounds per epoch must be >= 1, got %d", cfg.RoundsPerEpoch)
+	}
+	if cfg.MaxSwitchProb < 0 || cfg.MaxSwitchProb > 1 {
+		return fmt.Errorf("tasks: MaxSwitchProb must be in [0, 1], got %v", cfg.MaxSwitchProb)
+	}
+	return nil
+}
+
+// Run executes the allocation dynamic on w. All agents are (re)
+// assigned initial tasks: every agent starts on task 1, modeling a
+// colony that must redistribute itself from a single activity.
+func Run(w *sim.World, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	maxSwitch := cfg.MaxSwitchProb
+	if maxSwitch == 0 {
+		maxSwitch = 0.3
+	}
+	k := len(cfg.Targets)
+	n := w.NumAgents()
+	for i := 0; i < n; i++ {
+		w.SetGroup(i, 1)
+	}
+	coins := rng.New(cfg.Seed)
+	res := &Result{History: [][]float64{allocation(w, k)}}
+
+	counts := make([][]int64, n)
+	for i := range counts {
+		counts[i] = make([]int64, k)
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for i := range counts {
+			for kk := range counts[i] {
+				counts[i][kk] = 0
+			}
+		}
+		for r := 0; r < cfg.RoundsPerEpoch; r++ {
+			w.Step()
+			for i := 0; i < n; i++ {
+				for task := 1; task <= k; task++ {
+					counts[i][task-1] += int64(w.CountInGroup(i, task))
+				}
+			}
+		}
+		// Decide switches from the frozen estimates, then apply them
+		// all at once (synchronous update).
+		type move struct{ agent, to int }
+		var moves []move
+		for i := 0; i < n; i++ {
+			own := w.Group(i)
+			var total int64
+			for _, c := range counts[i] {
+				total += c
+			}
+			if total == 0 {
+				continue // no encounters at all; no information
+			}
+			// Estimated fraction on each task, and the surplus of the
+			// agent's own task relative to its target.
+			ownFrac := float64(counts[i][own-1]) / float64(total)
+			surplus := ownFrac - cfg.Targets[own-1]
+			if surplus <= 0 {
+				continue // own task not overstaffed
+			}
+			// Most understaffed task by estimated deficit.
+			best, bestDeficit := 0, 0.0
+			for task := 1; task <= k; task++ {
+				frac := float64(counts[i][task-1]) / float64(total)
+				deficit := cfg.Targets[task-1] - frac
+				if deficit > bestDeficit {
+					best, bestDeficit = task, deficit
+				}
+			}
+			if best == 0 || best == own {
+				continue
+			}
+			// Switch with probability proportional to the surplus,
+			// damped to avoid overshooting.
+			p := maxSwitch * surplus / cfg.Targets[own-1]
+			if p > maxSwitch {
+				p = maxSwitch
+			}
+			if coins.Bernoulli(p) {
+				moves = append(moves, move{agent: i, to: best})
+			}
+		}
+		for _, m := range moves {
+			w.SetGroup(m.agent, m.to)
+		}
+		res.Switches += len(moves)
+		res.History = append(res.History, allocation(w, k))
+	}
+	final := res.History[len(res.History)-1]
+	for task := 0; task < k; task++ {
+		diff := final[task] - cfg.Targets[task]
+		if diff < 0 {
+			diff = -diff
+		}
+		res.FinalL1 += diff
+	}
+	return res, nil
+}
+
+// allocation returns the current fraction of agents on each task.
+func allocation(w *sim.World, k int) []float64 {
+	n := float64(w.NumAgents())
+	out := make([]float64, k)
+	for task := 1; task <= k; task++ {
+		out[task-1] = float64(w.GroupSize(task)) / n
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package tasks
+
+import (
+	"math"
+	"testing"
+
+	"antdensity/internal/sim"
+	"antdensity/internal/topology"
+)
+
+func TestConfigValidate(t *testing.T) {
+	valid := Config{
+		Targets:        []float64{0.5, 0.5},
+		Epochs:         3,
+		RoundsPerEpoch: 10,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "one task", mutate: func(c *Config) { c.Targets = []float64{1} }},
+		{name: "zero target", mutate: func(c *Config) { c.Targets = []float64{1, 0} }},
+		{name: "bad sum", mutate: func(c *Config) { c.Targets = []float64{0.5, 0.2} }},
+		{name: "zero epochs", mutate: func(c *Config) { c.Epochs = 0 }},
+		{name: "zero rounds", mutate: func(c *Config) { c.RoundsPerEpoch = 0 }},
+		{name: "bad switch prob", mutate: func(c *Config) { c.MaxSwitchProb = 1.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := valid
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestRunConvergesTowardTargets(t *testing.T) {
+	// 200 agents on a dense small torus; all start on task 1 and the
+	// colony should redistribute toward 50/30/20.
+	g := topology.MustTorus(2, 16) // A = 256: dense, many encounters
+	w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 200, Seed: 3})
+	cfg := Config{
+		Targets:        []float64{0.5, 0.3, 0.2},
+		Epochs:         25,
+		RoundsPerEpoch: 80,
+		Seed:           7,
+	}
+	res, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != cfg.Epochs+1 {
+		t.Fatalf("history length = %d, want %d", len(res.History), cfg.Epochs+1)
+	}
+	// Initially everything on task 1.
+	if res.History[0][0] != 1 {
+		t.Errorf("initial allocation = %v, want all on task 1", res.History[0])
+	}
+	if res.FinalL1 > 0.25 {
+		t.Errorf("final L1 distance to target = %v, want < 0.25 (final allocation %v)", res.FinalL1, res.History[len(res.History)-1])
+	}
+	if res.Switches == 0 {
+		t.Error("no agent ever switched")
+	}
+}
+
+func TestRunAllocationsAreDistributions(t *testing.T) {
+	g := topology.MustTorus(2, 12)
+	w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 60, Seed: 4})
+	res, err := Run(w, Config{
+		Targets:        []float64{0.6, 0.4},
+		Epochs:         5,
+		RoundsPerEpoch: 30,
+		Seed:           9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, alloc := range res.History {
+		sum := 0.0
+		for _, f := range alloc {
+			if f < 0 || f > 1 {
+				t.Fatalf("epoch %d: fraction %v out of range", e, f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("epoch %d: allocation sums to %v", e, sum)
+		}
+	}
+}
+
+func TestRunStableWhenAlreadyAtTarget(t *testing.T) {
+	// With a uniform 2-task target and a world already split evenly,
+	// churn should be modest: the dynamic must not destabilize a
+	// correct allocation. We run once to converge, then measure
+	// switches in a second run phase.
+	g := topology.MustTorus(2, 12)
+	w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 100, Seed: 5})
+	cfg := Config{
+		Targets:        []float64{0.5, 0.5},
+		Epochs:         10,
+		RoundsPerEpoch: 60,
+		Seed:           11,
+	}
+	res, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After convergence, per-epoch switching should be well below the
+	// population size.
+	lastAlloc := res.History[len(res.History)-1]
+	if math.Abs(lastAlloc[0]-0.5) > 0.2 {
+		t.Errorf("allocation %v far from 50/50", lastAlloc)
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	g := topology.MustTorus(2, 8)
+	w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 10, Seed: 1})
+	if _, err := Run(w, Config{Targets: []float64{1}, Epochs: 1, RoundsPerEpoch: 1}); err == nil {
+		t.Error("invalid config accepted by Run")
+	}
+}

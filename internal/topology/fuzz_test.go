@@ -1,0 +1,101 @@
+package topology
+
+import "testing"
+
+// Fuzz targets exercise the arithmetic topologies with adversarial
+// inputs; they run their seed corpus under plain `go test` and can be
+// fuzzed with `go test -fuzz=FuzzTorus ./internal/topology`.
+
+func FuzzTorusNodeRoundTrip(f *testing.F) {
+	f.Add(uint8(2), int64(10), int64(5))
+	f.Add(uint8(1), int64(3), int64(0))
+	f.Add(uint8(4), int64(7), int64(1000))
+	f.Fuzz(func(t *testing.T, dims uint8, side int64, node int64) {
+		k := int(dims%4) + 1
+		if side < 2 {
+			side = 2
+		}
+		side = side%100 + 2
+		g, err := NewTorus(k, side)
+		if err != nil {
+			t.Skip()
+		}
+		v := node % g.NumNodes()
+		if v < 0 {
+			v += g.NumNodes()
+		}
+		if got := g.Node(g.Coords(v)...); got != v {
+			t.Fatalf("round trip failed: %d -> %d", v, got)
+		}
+		// Every neighbor must round-trip back via the paired direction.
+		for dim := 0; dim < k; dim++ {
+			if g.Neighbor(g.Neighbor(v, 2*dim), 2*dim+1) != v {
+				t.Fatalf("step inverse failed at node %d dim %d", v, dim)
+			}
+		}
+	})
+}
+
+func FuzzHypercubeNeighbors(f *testing.F) {
+	f.Add(uint8(4), int64(3))
+	f.Add(uint8(10), int64(999))
+	f.Fuzz(func(t *testing.T, bits uint8, node int64) {
+		k := int(bits%16) + 1
+		g, err := NewHypercube(k)
+		if err != nil {
+			t.Skip()
+		}
+		v := node % g.NumNodes()
+		if v < 0 {
+			v += g.NumNodes()
+		}
+		for i := 0; i < g.Degree(v); i++ {
+			u := g.Neighbor(v, i)
+			if u == v {
+				t.Fatalf("self neighbor at %d", v)
+			}
+			if g.Neighbor(u, i) != v {
+				t.Fatalf("bit flip not involutive at %d bit %d", v, i)
+			}
+		}
+	})
+}
+
+func FuzzAdjConstruction(f *testing.F) {
+	f.Add(int64(4), int64(0), int64(1), int64(2), int64(3))
+	f.Add(int64(2), int64(0), int64(0), int64(1), int64(1))
+	f.Fuzz(func(t *testing.T, n, a, b, c, d int64) {
+		if n < 1 {
+			n = 1
+		}
+		n = n%50 + 1
+		norm := func(x int64) int64 {
+			x %= n
+			if x < 0 {
+				x += n
+			}
+			return x
+		}
+		edges := []Edge{{U: norm(a), V: norm(b)}, {U: norm(c), V: norm(d)}}
+		g, err := NewAdj(n, edges)
+		if err != nil {
+			t.Fatalf("normalized edges rejected: %v", err)
+		}
+		// Degree sum counts each non-loop edge twice and each loop once.
+		var sum int64
+		for v := int64(0); v < n; v++ {
+			sum += int64(g.Degree(v))
+		}
+		want := int64(0)
+		for _, e := range edges {
+			if e.U == e.V {
+				want++
+			} else {
+				want += 2
+			}
+		}
+		if sum != want {
+			t.Fatalf("degree sum %d, want %d", sum, want)
+		}
+	})
+}

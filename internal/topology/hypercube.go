@@ -1,0 +1,103 @@
+package topology
+
+import "fmt"
+
+// Hypercube is the k-dimensional Boolean hypercube: A = 2^k nodes
+// labeled by k-bit strings, with an edge between labels at Hamming
+// distance 1 (paper Section 4.5). Each random-walk step flips one
+// uniformly random bit.
+type Hypercube struct {
+	bits  int
+	nodes int64
+}
+
+var _ Regular = (*Hypercube)(nil)
+
+// NewHypercube returns the k-dimensional hypercube. It returns an
+// error if bits is outside [1, 62].
+func NewHypercube(bits int) (*Hypercube, error) {
+	if bits < 1 || bits > 62 {
+		return nil, fmt.Errorf("topology: hypercube bits must be in [1, 62], got %d", bits)
+	}
+	return &Hypercube{bits: bits, nodes: 1 << bits}, nil
+}
+
+// MustHypercube is like NewHypercube but panics on error.
+func MustHypercube(bits int) *Hypercube {
+	h, err := NewHypercube(bits)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// NumNodes returns 2^k.
+func (h *Hypercube) NumNodes() int64 { return h.nodes }
+
+// Bits returns the dimension k.
+func (h *Hypercube) Bits() int { return h.bits }
+
+// CommonDegree returns k.
+func (h *Hypercube) CommonDegree() int { return h.bits }
+
+// Degree returns k for every node.
+func (h *Hypercube) Degree(int64) int { return h.bits }
+
+// Neighbor returns v with bit i flipped.
+func (h *Hypercube) Neighbor(v int64, i int) int64 {
+	validateNode(h, v)
+	if i < 0 || i >= h.bits {
+		panic(fmt.Sprintf("topology: hypercube neighbor index %d out of range [0, %d)", i, h.bits))
+	}
+	return v ^ (1 << uint(i))
+}
+
+// Complete is the complete graph K_A: every node is adjacent to every
+// other node. A randomly walking agent jumps to a uniformly random
+// other node each round, which is the paper's fast-mixing baseline
+// (Section 1.1) where encounter-rate samples are essentially
+// independent Bernoulli trials.
+type Complete struct {
+	nodes int64
+}
+
+var _ Regular = (*Complete)(nil)
+
+// NewComplete returns the complete graph on n nodes. It returns an
+// error if n < 2.
+func NewComplete(n int64) (*Complete, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: complete graph needs >= 2 nodes, got %d", n)
+	}
+	return &Complete{nodes: n}, nil
+}
+
+// MustComplete is like NewComplete but panics on error.
+func MustComplete(n int64) *Complete {
+	c, err := NewComplete(n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumNodes returns A.
+func (c *Complete) NumNodes() int64 { return c.nodes }
+
+// CommonDegree returns A-1.
+func (c *Complete) CommonDegree() int { return int(c.nodes - 1) }
+
+// Degree returns A-1 for every node.
+func (c *Complete) Degree(int64) int { return int(c.nodes - 1) }
+
+// Neighbor returns the i-th node other than v, in increasing order.
+func (c *Complete) Neighbor(v int64, i int) int64 {
+	validateNode(c, v)
+	if i < 0 || int64(i) >= c.nodes-1 {
+		panic(fmt.Sprintf("topology: complete neighbor index %d out of range [0, %d)", i, c.nodes-1))
+	}
+	if int64(i) < v {
+		return int64(i)
+	}
+	return int64(i) + 1
+}

@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"antdensity/internal/rng"
+)
+
+// Property-based tests on structural invariants shared by all graph
+// implementations.
+
+// undirectedSymmetric checks that u appears in v's neighbor list
+// exactly as many times as v appears in u's — the defining invariant
+// of an undirected (multi)graph.
+func undirectedSymmetric(g Graph) bool {
+	n := g.NumNodes()
+	for v := int64(0); v < n; v++ {
+		counts := map[int64]int{}
+		for i, d := 0, g.Degree(v); i < d; i++ {
+			counts[g.Neighbor(v, i)]++
+		}
+		for u, c := range counts {
+			if u == v {
+				continue // self-loop multiplicity is its own witness
+			}
+			back := 0
+			for i, d := 0, g.Degree(u); i < d; i++ {
+				if g.Neighbor(u, i) == v {
+					back++
+				}
+			}
+			if back != c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestUndirectedSymmetryAcrossTopologies(t *testing.T) {
+	s := rng.New(1)
+	rr, err := NewRandomRegular(60, 4, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    Graph
+	}{
+		{name: "torus2d", g: MustTorus(2, 5)},
+		{name: "torus3d", g: MustTorus(3, 3)},
+		{name: "ring", g: MustTorus(1, 9)},
+		{name: "hypercube", g: MustHypercube(5)},
+		{name: "complete", g: MustComplete(12)},
+		{name: "random regular", g: rr},
+		{name: "adj multi", g: MustAdj(3, []Edge{{0, 1}, {0, 1}, {1, 2}, {2, 2}})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !undirectedSymmetric(tc.g) {
+				t.Error("neighbor symmetry violated")
+			}
+		})
+	}
+}
+
+func TestTorusNodeCoordsQuickRoundTrip(t *testing.T) {
+	f := func(dims uint8, sideSel uint8, raw uint32) bool {
+		k := int(dims%4) + 1
+		side := int64(sideSel%20) + 2
+		g := MustTorus(k, side)
+		v := int64(raw) % g.NumNodes()
+		return g.Node(g.Coords(v)...) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusStepInverseQuick(t *testing.T) {
+	// Property: for any node and dimension, +step then -step is the
+	// identity, and both neighbors lie in range.
+	f := func(sideSel uint8, raw uint32, dimSel uint8) bool {
+		side := int64(sideSel%30) + 2
+		g := MustTorus(2, side)
+		v := int64(raw) % g.NumNodes()
+		dim := int(dimSel) % 2
+		plus := g.Neighbor(v, 2*dim)
+		minus := g.Neighbor(v, 2*dim+1)
+		if plus < 0 || plus >= g.NumNodes() || minus < 0 || minus >= g.NumNodes() {
+			return false
+		}
+		return g.Neighbor(plus, 2*dim+1) == v && g.Neighbor(minus, 2*dim) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypercubeDistanceQuick(t *testing.T) {
+	// Property: BFS distance on the hypercube equals Hamming distance.
+	h := MustHypercube(8)
+	dist := BFSDistances(h, 0)
+	f := func(raw uint16) bool {
+		v := int64(raw) % h.NumNodes()
+		pop := int64(0)
+		for x := v; x != 0; x &= x - 1 {
+			pop++
+		}
+		return dist[v] == pop
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkStaysOnGraphQuick(t *testing.T) {
+	// Property: an arbitrary-length walk never leaves the node range
+	// and every step is to a listed neighbor.
+	s := rng.New(7)
+	f := func(sideSel uint8, steps uint8, seed uint16) bool {
+		side := int64(sideSel%12) + 2
+		g := MustTorus(2, side)
+		str := s.Split(uint64(seed))
+		v := RandomNode(g, str)
+		for i := 0; i < int(steps); i++ {
+			next := RandomStep(g, v, str)
+			found := false
+			for j := 0; j < g.Degree(v); j++ {
+				if g.Neighbor(v, j) == next {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+			v = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeSumEvenQuick(t *testing.T) {
+	// Property: the degree sum of any loop-free generated graph is
+	// even (handshake lemma).
+	s := rng.New(11)
+	f := func(nSel uint8) bool {
+		n := int64(nSel%50) + 10
+		g, err := NewRandomRegular(n, 4, s.Split(uint64(nSel)))
+		if err != nil {
+			return n < 5 // only tiny n should fail
+		}
+		var sum int64
+		for v := int64(0); v < n; v++ {
+			sum += int64(g.Degree(v))
+		}
+		return sum%2 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package topology
+
+import (
+	"fmt"
+
+	"antdensity/internal/rng"
+)
+
+// NewRandomRegular samples a random d-regular (multi)graph on n nodes
+// using the permutation model: the union of d/2 uniformly random
+// fixed-point-free permutations, each contributing the undirected
+// edges {v, sigma(v)}. Such graphs are expanders with high
+// probability, with second eigenvalue concentrated near 2*sqrt(d-1)/d,
+// which is what the paper's Section 4.4 analysis assumes.
+//
+// The result may contain multi-edges (for example when a permutation
+// has a 2-cycle); they are rare for n >> d and harmless for
+// random-walk semantics since every node has degree exactly d. Fixed
+// points (self-loops) are eliminated by local swaps.
+//
+// It returns an error if d is not a positive even number or n < d+1.
+func NewRandomRegular(n int64, d int, s *rng.Stream) (*Adj, error) {
+	if d <= 0 || d%2 != 0 {
+		return nil, fmt.Errorf("topology: random regular degree must be positive and even, got %d", d)
+	}
+	if n < int64(d)+1 {
+		return nil, fmt.Errorf("topology: random regular needs n >= d+1 (n=%d, d=%d)", n, d)
+	}
+	edges := make([]Edge, 0, n*int64(d)/2)
+	for p := 0; p < d/2; p++ {
+		perm := randomDerangementish(n, s)
+		for v := int64(0); v < n; v++ {
+			edges = append(edges, Edge{U: v, V: perm[v]})
+		}
+	}
+	return NewAdj(n, edges)
+}
+
+// randomDerangementish returns a uniformly random permutation of
+// [0, n) with fixed points removed by swapping each fixed point with a
+// random other position. The result is not exactly uniform over
+// derangements, but is fixed-point free and near-uniform, which
+// suffices for expander construction.
+func randomDerangementish(n int64, s *rng.Stream) []int64 {
+	perm := make([]int64, n)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	s.Shuffle(int(n), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	for v := int64(0); v < n; v++ {
+		if perm[v] != v {
+			continue
+		}
+		u := int64(s.Intn(int(n - 1)))
+		if u >= v {
+			u++
+		}
+		perm[v], perm[u] = perm[u], perm[v]
+		// The swap cannot create a new fixed point at u: perm[u] is now
+		// the old perm[v] == v != u. Position v now holds the old
+		// perm[u] != u; it equals v only if u's old image was v, in
+		// which case v and u form a 2-cycle with no fixed points.
+	}
+	return perm
+}

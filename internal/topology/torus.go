@@ -1,0 +1,152 @@
+package topology
+
+import "fmt"
+
+// Torus is a k-dimensional torus with a common side length per
+// dimension: the graph Z_L x ... x Z_L (k factors) with nodes adjacent
+// when they differ by +-1 (mod L) in exactly one coordinate. The
+// paper's two-dimensional sqrt(A) x sqrt(A) grid model is Torus with
+// k=2, and the ring of Section 4.2 is k=1.
+//
+// Node ids encode coordinates in base L: id = sum_i coord[i] * L^i.
+// Neighbors are computed arithmetically, so a Torus with, say, side
+// 10^6 and k=2 (A = 10^12 nodes) costs no memory, realizing the
+// paper's "A larger than the area agents traverse" regime.
+//
+// For side length 2 the +1 and -1 neighbors coincide, making the graph
+// a multigraph with doubled edges; random-walk semantics (uniform
+// choice among 2k directions) are still correct.
+type Torus struct {
+	side    int64
+	dims    int
+	strides []int64 // strides[i] = side^i
+	nodes   int64   // side^dims
+}
+
+var _ Regular = (*Torus)(nil)
+
+// NewTorus returns a k-dimensional torus with the given side length.
+// It returns an error if dims < 1, side < 2, or side^dims overflows
+// int64.
+func NewTorus(dims int, side int64) (*Torus, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("topology: torus dims must be >= 1, got %d", dims)
+	}
+	if side < 2 {
+		return nil, fmt.Errorf("topology: torus side must be >= 2, got %d", side)
+	}
+	strides := make([]int64, dims+1)
+	strides[0] = 1
+	for i := 1; i <= dims; i++ {
+		const maxInt64 = 1<<63 - 1
+		if strides[i-1] > maxInt64/side {
+			return nil, fmt.Errorf("topology: torus size %d^%d overflows int64", side, dims)
+		}
+		strides[i] = strides[i-1] * side
+	}
+	return &Torus{side: side, dims: dims, strides: strides[:dims], nodes: strides[dims]}, nil
+}
+
+// MustTorus is like NewTorus but panics on error. It is intended for
+// tests and examples with constant parameters.
+func MustTorus(dims int, side int64) *Torus {
+	t, err := NewTorus(dims, side)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewRing returns the one-dimensional torus (cycle) with n nodes.
+func NewRing(n int64) (*Torus, error) { return NewTorus(1, n) }
+
+// NumNodes returns side^dims.
+func (t *Torus) NumNodes() int64 { return t.nodes }
+
+// Dims returns the number of dimensions k.
+func (t *Torus) Dims() int { return t.dims }
+
+// Side returns the side length L.
+func (t *Torus) Side() int64 { return t.side }
+
+// CommonDegree returns 2k: each node has a +1 and a -1 neighbor per
+// dimension.
+func (t *Torus) CommonDegree() int { return 2 * t.dims }
+
+// Degree returns 2k for every node.
+func (t *Torus) Degree(int64) int { return 2 * t.dims }
+
+// Neighbor returns the i-th neighbor of v. Neighbors are ordered as
+// (+dim0, -dim0, +dim1, -dim1, ...).
+func (t *Torus) Neighbor(v int64, i int) int64 {
+	validateNode(t, v)
+	if i < 0 || i >= 2*t.dims {
+		panic(fmt.Sprintf("topology: torus neighbor index %d out of range [0, %d)", i, 2*t.dims))
+	}
+	dim := i / 2
+	if i%2 == 0 {
+		return t.step(v, dim, +1)
+	}
+	return t.step(v, dim, -1)
+}
+
+// step moves v by delta (+1 or -1) along dimension dim, wrapping.
+func (t *Torus) step(v int64, dim int, delta int64) int64 {
+	stride := t.strides[dim]
+	coord := (v / stride) % t.side
+	next := coord + delta
+	switch {
+	case next == t.side:
+		next = 0
+	case next < 0:
+		next = t.side - 1
+	}
+	return v + (next-coord)*stride
+}
+
+// Coords decodes node v into its k coordinates.
+func (t *Torus) Coords(v int64) []int64 {
+	validateNode(t, v)
+	coords := make([]int64, t.dims)
+	for i := 0; i < t.dims; i++ {
+		coords[i] = v % t.side
+		v /= t.side
+	}
+	return coords
+}
+
+// Node encodes coordinates into a node id. Coordinates are reduced
+// modulo the side length, so any integers are accepted. It panics if
+// len(coords) != Dims().
+func (t *Torus) Node(coords ...int64) int64 {
+	if len(coords) != t.dims {
+		panic(fmt.Sprintf("topology: torus expects %d coordinates, got %d", t.dims, len(coords)))
+	}
+	var v int64
+	for i := t.dims - 1; i >= 0; i-- {
+		c := coords[i] % t.side
+		if c < 0 {
+			c += t.side
+		}
+		v = v*t.side + c
+	}
+	return v
+}
+
+// Displacement returns the coordinate-wise signed shortest displacement
+// from node a to node b, each component in (-side/2, side/2].
+func (t *Torus) Displacement(a, b int64) []int64 {
+	ca, cb := t.Coords(a), t.Coords(b)
+	d := make([]int64, t.dims)
+	for i := range d {
+		diff := cb[i] - ca[i]
+		if diff > t.side/2 {
+			diff -= t.side
+		}
+		if diff <= -(t.side+1)/2 {
+			diff += t.side
+		}
+		d[i] = diff
+	}
+	return d
+}

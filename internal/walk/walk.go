@@ -1,0 +1,224 @@
+// Package walk measures the random-walk quantities at the heart of
+// the paper's analysis: re-collision probabilities between two walks
+// (Lemma 4 on the 2-D torus, Lemma 20 on the ring, Lemma 22 on
+// k-dimensional tori, Lemma 23 on expanders, Lemma 25 on hypercubes),
+// equalization (return-to-origin) probabilities (Corollary 10), visit
+// and collision count moments (Lemma 11, Corollaries 15 and 16), and
+// endpoint distributions (Lemma 9). All estimates are Monte Carlo
+// over explicit trials with deterministic seeds.
+package walk
+
+import (
+	"fmt"
+
+	"antdensity/internal/rng"
+	"antdensity/internal/topology"
+)
+
+// RecollisionCurve estimates, for every m in [0, maxM], the
+// probability that two independent random walks started at the same
+// node occupy the same node after exactly m further steps — the
+// quantity bounded by the paper's re-collision lemmas. The walks both
+// start at start; probabilities are averaged over trials pairs of
+// walks.
+//
+// Note that both walks step in every round, so their difference
+// process moves by the difference of two unit steps — an even-parity
+// move. Two walks from a common origin can therefore re-collide at
+// any m, even on bipartite graphs; the paper's parity remark (agents
+// at odd distance never meet) concerns agents with odd *initial*
+// separation, and the Corollary 10 parity claim concerns a single
+// walk returning to its origin.
+func RecollisionCurve(g topology.Graph, start int64, maxM, trials int, s *rng.Stream) []float64 {
+	validate(maxM, trials)
+	hits := make([]int, maxM+1)
+	for trial := 0; trial < trials; trial++ {
+		s1 := s.Split(uint64(2 * trial))
+		s2 := s.Split(uint64(2*trial + 1))
+		p1, p2 := start, start
+		hits[0]++ // both walks begin at the collision node
+		for m := 1; m <= maxM; m++ {
+			p1 = topology.RandomStep(g, p1, s1)
+			p2 = topology.RandomStep(g, p2, s2)
+			if p1 == p2 {
+				hits[m]++
+			}
+		}
+	}
+	curve := make([]float64, maxM+1)
+	for m, h := range hits {
+		curve[m] = float64(h) / float64(trials)
+	}
+	return curve
+}
+
+// EqualizationCurve estimates, for every m in [0, maxM], the
+// probability that a single random walk is back at its origin after
+// exactly m steps (Corollary 10: Theta(1/(m+1)) + O(1/A) for even m
+// on the 2-D torus, 0 for odd m).
+func EqualizationCurve(g topology.Graph, start int64, maxM, trials int, s *rng.Stream) []float64 {
+	validate(maxM, trials)
+	hits := make([]int, maxM+1)
+	for trial := 0; trial < trials; trial++ {
+		str := s.Split(uint64(trial))
+		p := start
+		hits[0]++
+		for m := 1; m <= maxM; m++ {
+			p = topology.RandomStep(g, p, str)
+			if p == start {
+				hits[m]++
+			}
+		}
+	}
+	curve := make([]float64, maxM+1)
+	for m, h := range hits {
+		curve[m] = float64(h) / float64(trials)
+	}
+	return curve
+}
+
+// SumCurve returns B(t) = sum_{m=0..t} curve[m] for each prefix
+// length, i.e. out[t] is the empirical B(t) of Lemma 19. The returned
+// slice has the same length as curve.
+func SumCurve(curve []float64) []float64 {
+	out := make([]float64, len(curve))
+	var sum float64
+	for m, p := range curve {
+		sum += p
+		out[m] = sum
+	}
+	return out
+}
+
+// EqualizationCounts returns, for each of trials independent t-step
+// walks from a uniformly random start, the number of returns to the
+// starting node — the equalization count whose moments Corollary 16
+// bounds by k! w^k log^k(2t).
+func EqualizationCounts(g topology.Graph, t, trials int, s *rng.Stream) []float64 {
+	validate(t, trials)
+	out := make([]float64, trials)
+	for trial := 0; trial < trials; trial++ {
+		str := s.Split(uint64(trial))
+		start := topology.RandomNode(g, str)
+		p := start
+		count := 0
+		for m := 1; m <= t; m++ {
+			p = topology.RandomStep(g, p, str)
+			if p == start {
+				count++
+			}
+		}
+		out[trial] = float64(count)
+	}
+	return out
+}
+
+// PairCollisionCounts returns, for each of trials independent
+// experiments, the number of rounds (out of t) in which two
+// independently and uniformly placed random walks are co-located —
+// the collision count c_j whose moments Lemma 11 bounds by
+// (t w^k / A) k! log^k(2t).
+func PairCollisionCounts(g topology.Graph, t, trials int, s *rng.Stream) []float64 {
+	validate(t, trials)
+	out := make([]float64, trials)
+	for trial := 0; trial < trials; trial++ {
+		s1 := s.Split(uint64(2 * trial))
+		s2 := s.Split(uint64(2*trial + 1))
+		p1 := topology.RandomNode(g, s1)
+		p2 := topology.RandomNode(g, s2)
+		count := 0
+		for m := 1; m <= t; m++ {
+			p1 = topology.RandomStep(g, p1, s1)
+			p2 = topology.RandomStep(g, p2, s2)
+			if p1 == p2 {
+				count++
+			}
+		}
+		out[trial] = float64(count)
+	}
+	return out
+}
+
+// VisitCounts returns, for each of trials independent t-step walks
+// from uniformly random starts, the number of rounds the walk spends
+// at the fixed node target — the visit count of Corollary 15.
+func VisitCounts(g topology.Graph, target int64, t, trials int, s *rng.Stream) []float64 {
+	validate(t, trials)
+	out := make([]float64, trials)
+	for trial := 0; trial < trials; trial++ {
+		str := s.Split(uint64(trial))
+		p := topology.RandomNode(g, str)
+		count := 0
+		for m := 1; m <= t; m++ {
+			p = topology.RandomStep(g, p, str)
+			if p == target {
+				count++
+			}
+		}
+		out[trial] = float64(count)
+	}
+	return out
+}
+
+// EndpointDistribution estimates the distribution of the endpoint of
+// an m-step walk from start, as a map from node to empirical
+// probability. Lemma 9 bounds its maximum by O(1/(m+1) + 1/A) on the
+// 2-D torus.
+func EndpointDistribution(g topology.Graph, start int64, m, trials int, s *rng.Stream) map[int64]float64 {
+	validate(m, trials)
+	counts := make(map[int64]int)
+	for trial := 0; trial < trials; trial++ {
+		str := s.Split(uint64(trial))
+		counts[topology.Walk(g, start, m, str)]++
+	}
+	dist := make(map[int64]float64, len(counts))
+	for node, c := range counts {
+		dist[node] = float64(c) / float64(trials)
+	}
+	return dist
+}
+
+// MaxEndpointProbability returns the largest endpoint probability of
+// an m-step walk from start — the left side of Lemma 9's bound. Note
+// the estimate is biased upward when trials is small relative to the
+// support size.
+func MaxEndpointProbability(g topology.Graph, start int64, m, trials int, s *rng.Stream) float64 {
+	dist := EndpointDistribution(g, start, m, trials, s)
+	var max float64
+	for _, p := range dist {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// FirstCollisionRound returns the first round in [1, t] at which two
+// uniformly placed walks are co-located, or 0 if they never collide
+// within t rounds. Lemma 12 bounds P[collide at least once] by t/A.
+func FirstCollisionRound(g topology.Graph, t int, s *rng.Stream) int {
+	if t < 1 {
+		panic(fmt.Sprintf("walk: t must be >= 1, got %d", t))
+	}
+	s1 := s.Split(0)
+	s2 := s.Split(1)
+	p1 := topology.RandomNode(g, s1)
+	p2 := topology.RandomNode(g, s2)
+	for m := 1; m <= t; m++ {
+		p1 = topology.RandomStep(g, p1, s1)
+		p2 = topology.RandomStep(g, p2, s2)
+		if p1 == p2 {
+			return m
+		}
+	}
+	return 0
+}
+
+func validate(steps, trials int) {
+	if steps < 0 {
+		panic(fmt.Sprintf("walk: step count must be >= 0, got %d", steps))
+	}
+	if trials < 1 {
+		panic(fmt.Sprintf("walk: trials must be >= 1, got %d", trials))
+	}
+}
