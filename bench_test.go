@@ -8,11 +8,17 @@ package antdensity_test
 // `go run ./cmd/antdensity run <id>` (without -quick).
 
 import (
+	"flag"
 	"io"
 	"testing"
 
 	"antdensity/internal/experiments"
 )
+
+// workers is threaded into every benchmarked experiment's trial
+// runner; metrics are identical for any value, only wall clock moves.
+// Example: go test -bench=. -workers=1 for the sequential baseline.
+var workers = flag.Int("workers", 0, "trial-runner goroutines per experiment (0 = all CPUs)")
 
 // benchExperiment runs experiment id once per iteration and reports
 // the named metric from the final run.
@@ -24,7 +30,7 @@ func benchExperiment(b *testing.B, id, metric string) {
 	}
 	var last float64
 	for i := 0; i < b.N; i++ {
-		out, err := e.Run(experiments.Params{Seed: uint64(4000 + i), Quick: true, Out: io.Discard})
+		out, err := e.Run(experiments.Params{Seed: uint64(4000 + i), Quick: true, Out: io.Discard, Workers: *workers})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	antdensity list
-//	antdensity run [-seed N] [-quick] <exp-id>|all
+//	antdensity run [-seed N] [-quick] [-workers W] <exp-id>|all
 //	antdensity estimate [-dims K] [-side L] [-agents N] [-rounds T] [-seed N]
 //	antdensity netsize  [-graph ba|er|ws|torus3] [-nodes N] [-walkers W] [-steps T] [-seed N]
 //	antdensity walk     [-topo torus2d|ring|torus3d|hypercube] [-steps M] [-trials K] [-seed N]
@@ -90,6 +90,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "random seed")
 	quick := fs.Bool("quick", false, "reduced trial counts")
+	workers := fs.Int("workers", 0, "trial-runner goroutines (0 = all CPUs); results are identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,7 +112,7 @@ func cmdRun(args []string) error {
 	}
 	for _, e := range selected {
 		fmt.Printf("=== %s: %s\n    %s\n", e.ID, e.Title, e.Claim)
-		if _, err := e.Run(experiments.Params{Seed: *seed, Quick: *quick, Out: os.Stdout}); err != nil {
+		if _, err := e.Run(experiments.Params{Seed: *seed, Quick: *quick, Out: os.Stdout, Workers: *workers}); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Println()

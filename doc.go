@@ -19,6 +19,20 @@
 //     claim; see DESIGN.md for the index and EXPERIMENTS.md for
 //     paper-vs-measured results.
 //
-// The benchmarks in bench_test.go regenerate every experiment table;
-// the cmd/antdensity CLI runs them interactively.
+// Every experiment's Monte Carlo loop runs through the shared
+// parallel trial runner in internal/experiments/runner.go: a
+// TrialSpec names a family of independent trials, RunTrials fans them
+// out over a worker pool (RunConfig.Workers, default GOMAXPROCS), and
+// an ExperimentResult aggregates samples, named per-trial values, and
+// Monte Carlo curves through internal/stats. Each trial draws all of
+// its randomness from a private rng substream derived from the spec's
+// base seed and the trial index, and aggregation runs in trial-index
+// order, so every reported number is bit-identical for every worker
+// count — `antdensity run -workers=1` and `-workers=64` print the
+// same bytes. New scenarios are a ~30-line TrialSpec instead of a
+// hand-rolled trial loop.
+//
+// The benchmarks in bench_test.go regenerate every experiment table
+// (a -workers flag selects the trial-runner width); the cmd/antdensity
+// CLI runs them interactively via `run [-workers W]`.
 package antdensity

@@ -1,0 +1,3 @@
+module antdensity
+
+go 1.24

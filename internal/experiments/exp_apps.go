@@ -59,38 +59,54 @@ func runE24(p Params) (*Outcome, error) {
 	var meanRounds []float64
 	for ri, ratio := range ratios {
 		agents := int(ratio*threshold*float64(g.NumNodes())) + 1
+		res, err := p.runTrials(TrialSpec{
+			Name:   "E24",
+			Trials: trials,
+			Seed:   p.Seed + uint64(ri)<<20,
+			Run: func(tr Trial) (TrialResult, error) {
+				var r TrialResult
+				w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: tr.Seed})
+				if err != nil {
+					return r, err
+				}
+				est, err := core.NewStreamingEstimator(0.6)
+				if err != nil {
+					return r, err
+				}
+				decision := 0
+				decidedAt := maxRounds
+				for round := 1; round <= maxRounds; round++ {
+					w.Step()
+					est.Observe(w.Count(0))
+					if v := est.AboveThreshold(threshold, 0.05); v != 0 {
+						decision = v
+						decidedAt = round
+						break
+					}
+				}
+				r.Set("decision", float64(decision))
+				r.Set("rounds", float64(decidedAt))
+				return r, nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		want := -1.0
+		if ratio > 1 {
+			want = +1
+		}
 		correct, undecided := 0, 0
 		var rounds []float64
-		for trial := 0; trial < trials; trial++ {
-			w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: p.Seed + uint64(ri)<<20 + uint64(trial)})
-			if err != nil {
-				return nil, err
-			}
-			est, err := core.NewStreamingEstimator(0.6)
-			if err != nil {
-				return nil, err
-			}
-			decision := 0
-			decidedAt := maxRounds
-			for r := 1; r <= maxRounds; r++ {
-				w.Step()
-				est.Observe(w.Count(0))
-				if v := est.AboveThreshold(threshold, 0.05); v != 0 {
-					decision = v
-					decidedAt = r
-					break
-				}
-			}
-			want := -1
-			if ratio > 1 {
-				want = +1
-			}
+		decisions := res.ValueSlice("decision")
+		decidedAts := res.ValueSlice("rounds")
+		for i, decision := range decisions {
 			switch decision {
 			case 0:
 				undecided++
 			case want:
 				correct++
-				rounds = append(rounds, float64(decidedAt))
+				rounds = append(rounds, decidedAts[i])
 			default:
 				// wrong decision: counted implicitly below
 			}
@@ -247,25 +263,34 @@ func runE22(p Params) (*Outcome, error) {
 	agents := pick(p, 181, 91)
 	t := pick(p, 1000, 250)
 	trials := pick(p, 6, 3)
-	var inside []float64
-	var globalTruth float64
-	for trial := 0; trial < trials; trial++ {
-		w, err := sim.NewWorld(sim.Config{
-			Graph:     g,
-			NumAgents: agents,
-			Seed:      p.Seed + uint64(trial),
-			Placement: sim.ClusteredPlacement(0.1),
-		})
-		if err != nil {
-			return nil, err
-		}
-		ests, err := core.Algorithm1(w, t)
-		if err != nil {
-			return nil, err
-		}
-		globalTruth = w.Density()
-		inside = append(inside, ests...)
+	clusteredRes, err := p.runTrials(TrialSpec{
+		Name:   "E22-clustered",
+		Trials: trials,
+		Seed:   p.Seed,
+		Run: func(tr Trial) (TrialResult, error) {
+			w, err := sim.NewWorld(sim.Config{
+				Graph:     g,
+				NumAgents: agents,
+				Seed:      tr.Seed,
+				Placement: sim.ClusteredPlacement(0.1),
+			})
+			if err != nil {
+				return TrialResult{}, err
+			}
+			ests, err := core.Algorithm1(w, t)
+			if err != nil {
+				return TrialResult{}, err
+			}
+			r := TrialResult{Samples: ests}
+			r.Set("density", w.Density())
+			return r, nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
+	inside := clusteredRes.Samples()
+	globalTruth := clusteredRes.Value("density")
 	// Local density inside the cluster: all agents in 10% of the
 	// nodes, so the in-cluster density is ~10x the global one
 	// (diffusion spreads the cluster over t rounds, lowering it).
@@ -278,19 +303,11 @@ func runE22(p Params) (*Outcome, error) {
 	tb.AddRow("ratio estimate/global", meanEst/globalTruth)
 
 	// Control: uniform placement recovers the global density.
-	var uniform []float64
-	for trial := 0; trial < trials; trial++ {
-		w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: p.Seed + 500 + uint64(trial)})
-		if err != nil {
-			return nil, err
-		}
-		ests, err := core.Algorithm1(w, t)
-		if err != nil {
-			return nil, err
-		}
-		uniform = append(uniform, ests...)
+	uniformRes, err := algorithm1Trials(p, g, agents, t, trials, p.Seed+500)
+	if err != nil {
+		return nil, err
 	}
-	meanUniform := stats.Mean(uniform)
+	meanUniform := uniformRes.Mean()
 	tb.AddRow("mean estimate (uniform)", meanUniform)
 	tb.AddRow("ratio uniform/global", meanUniform/globalTruth)
 	if err := tb.Render(p.out()); err != nil {

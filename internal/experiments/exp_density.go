@@ -49,58 +49,64 @@ func init() {
 	})
 }
 
-// algorithm1Errors runs Algorithm 1 over trials fresh worlds and
-// returns the pooled per-agent relative errors.
-func algorithm1Errors(g topology.Graph, agents, t, trials int, seed uint64, opts ...core.Option) ([]float64, float64, error) {
-	var errs []float64
-	var d float64
-	for trial := 0; trial < trials; trial++ {
-		w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: seed + uint64(trial)})
-		if err != nil {
-			return nil, 0, err
-		}
-		ests, err := core.Algorithm1(w, t, opts...)
-		if err != nil {
-			return nil, 0, err
-		}
-		d = w.Density()
-		errs = append(errs, stats.RelErrors(ests, d)...)
+// algorithm1Trials runs Algorithm 1 over trials fresh worlds in
+// parallel; per-agent estimates are the samples, the true density is
+// the "density" value.
+func algorithm1Trials(p Params, g topology.Graph, agents, t, trials int, seed uint64, opts ...core.Option) (*ExperimentResult, error) {
+	return p.runTrials(TrialSpec{
+		Name:   "algorithm1",
+		Trials: trials,
+		Seed:   seed,
+		Run: func(tr Trial) (TrialResult, error) {
+			w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: tr.Seed})
+			if err != nil {
+				return TrialResult{}, err
+			}
+			ests, err := core.Algorithm1(w, t, opts...)
+			if err != nil {
+				return TrialResult{}, err
+			}
+			out := TrialResult{Samples: ests}
+			out.Set("density", w.Density())
+			return out, nil
+		},
+	})
+}
+
+// algorithm1Errors pools the per-agent relative errors of Algorithm 1
+// across trials.
+func algorithm1Errors(p Params, g topology.Graph, agents, t, trials int, seed uint64, opts ...core.Option) ([]float64, float64, error) {
+	res, err := algorithm1Trials(p, g, agents, t, trials, seed, opts...)
+	if err != nil {
+		return nil, 0, err
 	}
-	return errs, d, nil
+	d := res.Value("density")
+	return stats.RelErrors(res.Samples(), d), d, nil
 }
 
 func runE01(p Params) (*Outcome, error) {
 	side := int64(20) // A = 400
 	t := pick(p, 1500, 250)
 	trials := pick(p, 6, 2)
-	tb := expfmt.NewTable("density d", "agents", "rounds t", "mean d-tilde", "bias ratio", "rel std")
+	tb := expfmt.NewTable("density d", "agents", "rounds t", "mean d-tilde", "95% CI", "bias ratio", "rel std")
 	out := &Outcome{Metrics: map[string]float64{}}
 	g := topology.MustTorus(2, side)
 	a := g.NumNodes()
 	maxBias := 0.0
 	for _, d := range []float64{0.02, 0.05, 0.1, 0.2} {
 		agents := int(d*float64(a)) + 1
-		var all []float64
-		var truth float64
-		for trial := 0; trial < trials; trial++ {
-			w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: p.Seed + uint64(trial) + uint64(agents)<<20})
-			if err != nil {
-				return nil, err
-			}
-			ests, err := core.Algorithm1(w, t)
-			if err != nil {
-				return nil, err
-			}
-			all = append(all, ests...)
-			truth = w.Density()
+		res, err := algorithm1Trials(p, g, agents, t, trials, p.Seed+uint64(agents)<<20)
+		if err != nil {
+			return nil, err
 		}
+		all, truth := res.Samples(), res.Value("density")
 		mean := stats.Mean(all)
 		bias := mean / truth
 		relStd := stats.StdDev(all) / truth
 		if math.Abs(bias-1) > maxBias {
 			maxBias = math.Abs(bias - 1)
 		}
-		tb.AddRow(truth, agents, t, mean, bias, relStd)
+		tb.AddRow(truth, agents, t, mean, res.CI95(), bias, relStd)
 	}
 	if err := tb.Render(p.out()); err != nil {
 		return nil, err
@@ -122,7 +128,7 @@ func runE02(p Params) (*Outcome, error) {
 	var xs, ys []float64
 	var d float64
 	for _, t := range ts {
-		errs, truth, err := algorithm1Errors(g, agents, t, trials, p.Seed+uint64(t))
+		errs, truth, err := algorithm1Errors(p, g, agents, t, trials, p.Seed+uint64(t))
 		if err != nil {
 			return nil, err
 		}
@@ -164,13 +170,13 @@ func runE03(p Params) (*Outcome, error) {
 		out.Metrics[name+"_"+graph] = mean
 	}
 
-	errsTorus, _, err := algorithm1Errors(torus, agents, t, trials, p.Seed)
+	errsTorus, _, err := algorithm1Errors(p, torus, agents, t, trials, p.Seed)
 	if err != nil {
 		return nil, err
 	}
 	addRow("alg1", "torus2d", t, errsTorus)
 
-	errsComplete, _, err := algorithm1Errors(complete, agents, t, trials, p.Seed+1000)
+	errsComplete, _, err := algorithm1Errors(p, complete, agents, t, trials, p.Seed+1000)
 	if err != nil {
 		return nil, err
 	}
@@ -184,19 +190,26 @@ func runE03(p Params) (*Outcome, error) {
 	}
 	big := topology.MustTorus(2, 210)
 	bigAgents := int(0.1*float64(big.NumNodes())) + 1
-	var errs4 []float64
-	for trial := 0; trial < trials; trial++ {
-		w, err := sim.NewWorld(sim.Config{Graph: big, NumAgents: bigAgents, Seed: p.Seed + 2000 + uint64(trial)})
-		if err != nil {
-			return nil, err
-		}
-		ests, err := core.Algorithm4(w, t4, p.Seed+3000+uint64(trial))
-		if err != nil {
-			return nil, err
-		}
-		errs4 = append(errs4, stats.RelErrors(ests, w.Density())...)
+	res4, err := p.runTrials(TrialSpec{
+		Name:   "E03-alg4",
+		Trials: trials,
+		Seed:   p.Seed + 2000,
+		Run: func(tr Trial) (TrialResult, error) {
+			w, err := sim.NewWorld(sim.Config{Graph: big, NumAgents: bigAgents, Seed: tr.Seed})
+			if err != nil {
+				return TrialResult{}, err
+			}
+			ests, err := core.Algorithm4(w, t4, tr.Stream.Uint64())
+			if err != nil {
+				return TrialResult{}, err
+			}
+			return TrialResult{Samples: stats.RelErrors(ests, w.Density())}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	addRow("alg4", "torus2d", t4, errs4)
+	addRow("alg4", "torus2d", t4, res4.Samples())
 
 	if err := tb.Render(p.out()); err != nil {
 		return nil, err
@@ -217,23 +230,31 @@ func runE12(p Params) (*Outcome, error) {
 	if p.Quick {
 		ts = []int{25, 50, 100}
 	}
-	tb := expfmt.NewTable("rounds t", "mean |rel err|", "Thm32 eps (c=0.8)")
+	tb := expfmt.NewTable("rounds t", "mean |rel err|", "95% CI", "Thm32 eps (c=0.8)")
 	var xs, ys []float64
 	for _, t := range ts {
-		var errs []float64
-		for trial := 0; trial < trials; trial++ {
-			w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: p.Seed + uint64(t)<<16 + uint64(trial)})
-			if err != nil {
-				return nil, err
-			}
-			ests, err := core.Algorithm4(w, t, p.Seed+uint64(trial)+7)
-			if err != nil {
-				return nil, err
-			}
-			errs = append(errs, stats.RelErrors(ests, w.Density())...)
+		res, err := p.runTrials(TrialSpec{
+			Name:   "E12",
+			Trials: trials,
+			Seed:   p.Seed + uint64(t)<<16,
+			Run: func(tr Trial) (TrialResult, error) {
+				w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: tr.Seed})
+				if err != nil {
+					return TrialResult{}, err
+				}
+				ests, err := core.Algorithm4(w, t, tr.Stream.Uint64())
+				if err != nil {
+					return TrialResult{}, err
+				}
+				return TrialResult{Samples: stats.RelErrors(ests, w.Density())}, nil
+			},
+		})
+		if err != nil {
+			return nil, err
 		}
+		errs := res.Samples()
 		mean := stats.Mean(errs)
-		tb.AddRow(t, mean, 0.8*core.Theorem32Epsilon(t, 0.05, 0.05))
+		tb.AddRow(t, mean, res.CI95(), 0.8*core.Theorem32Epsilon(t, 0.05, 0.05))
 		xs = append(xs, float64(t))
 		ys = append(ys, mean)
 	}
@@ -256,25 +277,35 @@ func runE13(p Params) (*Outcome, error) {
 	maxBias := 0.0
 	for _, frac := range []float64{0.1, 0.25, 0.5} {
 		tagCount := int(frac * agents)
-		var freqs []float64
-		for trial := 0; trial < trials; trial++ {
-			w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: p.Seed + uint64(trial) + uint64(tagCount)<<16})
-			if err != nil {
-				return nil, err
-			}
-			for i := 0; i < tagCount; i++ {
-				w.SetTagged(i, true)
-			}
-			res, err := core.PropertyFrequency(w, t)
-			if err != nil {
-				return nil, err
-			}
-			for _, f := range res.Frequency {
-				if !math.IsNaN(f) {
-					freqs = append(freqs, f)
+		res, err := p.runTrials(TrialSpec{
+			Name:   "E13",
+			Trials: trials,
+			Seed:   p.Seed + uint64(tagCount)<<16,
+			Run: func(tr Trial) (TrialResult, error) {
+				w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: agents, Seed: tr.Seed})
+				if err != nil {
+					return TrialResult{}, err
 				}
-			}
+				for i := 0; i < tagCount; i++ {
+					w.SetTagged(i, true)
+				}
+				fres, err := core.PropertyFrequency(w, t)
+				if err != nil {
+					return TrialResult{}, err
+				}
+				var r TrialResult
+				for _, f := range fres.Frequency {
+					if !math.IsNaN(f) {
+						r.Samples = append(r.Samples, f)
+					}
+				}
+				return r, nil
+			},
+		})
+		if err != nil {
+			return nil, err
 		}
+		freqs := res.Samples()
 		// The per-agent expectation of f_P depends slightly on
 		// whether the observer is tagged; use the untagged-observer
 		// value tagCount/(agents-1) as truth.
@@ -302,24 +333,31 @@ func runE18(p Params) (*Outcome, error) {
 	tb := expfmt.NewTable("variant", "mean d-tilde", "predicted", "ratio")
 	out := &Outcome{Metrics: map[string]float64{}}
 
-	run := func(name string, predicted float64, policy sim.Policy, opts ...core.Option) error {
-		var all []float64
-		for trial := 0; trial < trials; trial++ {
-			cfg := sim.Config{Graph: g, NumAgents: agents, Seed: p.Seed ^ (uint64(len(name)) << 24) + uint64(trial)}
-			if policy != nil {
-				cfg.Policy = policy
-			}
-			w, err := sim.NewWorld(cfg)
-			if err != nil {
-				return err
-			}
-			ests, err := core.Algorithm1(w, t, opts...)
-			if err != nil {
-				return err
-			}
-			all = append(all, ests...)
+	run := func(ci int, name string, predicted float64, policy sim.Policy, opts ...core.Option) error {
+		res, err := p.runTrials(TrialSpec{
+			Name:   "E18-" + name,
+			Trials: trials,
+			Seed:   p.Seed + uint64(ci)<<24,
+			Run: func(tr Trial) (TrialResult, error) {
+				cfg := sim.Config{Graph: g, NumAgents: agents, Seed: tr.Seed}
+				if policy != nil {
+					cfg.Policy = policy
+				}
+				w, err := sim.NewWorld(cfg)
+				if err != nil {
+					return TrialResult{}, err
+				}
+				ests, err := core.Algorithm1(w, t, opts...)
+				if err != nil {
+					return TrialResult{}, err
+				}
+				return TrialResult{Samples: ests}, nil
+			},
+		})
+		if err != nil {
+			return err
 		}
-		mean := stats.Mean(all)
+		mean := res.Mean()
 		tb.AddRow(name, mean, predicted, mean/predicted)
 		out.Metrics[name] = mean / predicted
 		return nil
@@ -343,8 +381,8 @@ func runE18(p Params) (*Outcome, error) {
 		{name: "lazy_0.2", predicted: d, policy: sim.Lazy{StayProb: 0.2}},
 		{name: "biased_2111", predicted: d, policy: biased},
 	}
-	for _, c := range cases {
-		if err := run(c.name, c.predicted, c.policy, c.opts...); err != nil {
+	for ci, c := range cases {
+		if err := run(ci, c.name, c.predicted, c.policy, c.opts...); err != nil {
 			return nil, err
 		}
 	}

@@ -46,7 +46,6 @@ func init() {
 
 func runE23(p Params) (*Outcome, error) {
 	g := topology.MustTorus(3, 9) // 729 nodes, regular, non-bipartite
-	s := rng.New(p.Seed)
 	trials := pick(p, 30, 12)
 	truth := 1 / float64(g.NumNodes())
 	tb := expfmt.NewTable("walkers n", "steps t", "same-round RMSE of C", "cross-round RMSE of C", "gain")
@@ -57,29 +56,39 @@ func runE23(p Params) (*Outcome, error) {
 	}
 	var lastGain float64
 	for _, c := range configs {
-		var same, cross []float64
-		for trial := 0; trial < trials; trial++ {
-			w1, err := netsize.NewWalkersStationary(g, c.n, s.Split(uint64(c.t*1000+trial)))
-			if err != nil {
-				return nil, err
-			}
-			r1, err := w1.EstimateSize(c.t, 0)
-			if err != nil {
-				return nil, err
-			}
-			same = append(same, r1.C)
-			w2, err := netsize.NewWalkersStationary(g, c.n, s.Split(uint64(c.t*1000+500+trial)))
-			if err != nil {
-				return nil, err
-			}
-			r2, err := w2.CrossRoundEstimate(c.t, 0)
-			if err != nil {
-				return nil, err
-			}
-			cross = append(cross, r2.C)
+		c := c
+		res, err := p.runTrials(TrialSpec{
+			Name:   "E23",
+			Trials: trials,
+			Seed:   p.Seed + uint64(c.t)<<10,
+			Run: func(tr Trial) (TrialResult, error) {
+				var r TrialResult
+				w1, err := netsize.NewWalkersStationary(g, c.n, tr.Stream.Split(0))
+				if err != nil {
+					return r, err
+				}
+				r1, err := w1.EstimateSize(c.t, 0)
+				if err != nil {
+					return r, err
+				}
+				r.Set("same", r1.C)
+				w2, err := netsize.NewWalkersStationary(g, c.n, tr.Stream.Split(1))
+				if err != nil {
+					return r, err
+				}
+				r2, err := w2.CrossRoundEstimate(c.t, 0)
+				if err != nil {
+					return r, err
+				}
+				r.Set("cross", r2.C)
+				return r, nil
+			},
+		})
+		if err != nil {
+			return nil, err
 		}
-		rs := rmseTo(same, truth)
-		rc := rmseTo(cross, truth)
+		rs := rmseTo(res.ValueSlice("same"), truth)
+		rc := rmseTo(res.ValueSlice("cross"), truth)
 		gain := rs / rc
 		tb.AddRow(c.n, c.t, rs, rc, gain)
 		lastGain = gain
@@ -102,21 +111,29 @@ func rmseTo(xs []float64, truth float64) float64 {
 	return math.Sqrt(se / float64(len(xs)))
 }
 
-// sizeTrialStats runs repeated stationary-start size estimations and
-// returns the mean C relative to 1/|V| and the relative std of C.
-func sizeTrialStats(g topology.Graph, walkers, steps, trials int, seed uint64) (bias, relStd float64, err error) {
-	var cs []float64
-	for trial := 0; trial < trials; trial++ {
-		res, err := netsize.Estimate(g, netsize.Config{
-			Walkers: walkers, Steps: steps, Stationary: true, Seed: seed + uint64(trial),
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		cs = append(cs, res.C)
+// sizeTrialStats runs repeated stationary-start size estimations in
+// parallel and returns the mean C relative to 1/|V| and the relative
+// std of C.
+func sizeTrialStats(p Params, g topology.Graph, walkers, steps, trials int, seed uint64) (bias, relStd float64, err error) {
+	res, err := p.runTrials(TrialSpec{
+		Name:   "netsize",
+		Trials: trials,
+		Seed:   seed,
+		Run: func(tr Trial) (TrialResult, error) {
+			est, err := netsize.Estimate(g, netsize.Config{
+				Walkers: walkers, Steps: steps, Stationary: true, Seed: tr.Seed,
+			})
+			if err != nil {
+				return TrialResult{}, err
+			}
+			return TrialResult{Samples: []float64{est.C}}, nil
+		},
+	})
+	if err != nil {
+		return 0, 0, err
 	}
 	truth := 1 / float64(g.NumNodes())
-	return stats.Mean(cs) / truth, stats.StdDev(cs) / truth, nil
+	return res.Mean() / truth, res.StdDev() / truth, nil
 }
 
 func runE14(p Params) (*Outcome, error) {
@@ -145,7 +162,7 @@ func runE14(p Params) (*Outcome, error) {
 	tb := expfmt.NewTable("graph", "|V|", "bias E[C]*|V|", "rel std of C")
 	out := &Outcome{Metrics: map[string]float64{}}
 	for _, gr := range graphs {
-		bias, relStd, err := sizeTrialStats(gr.graph, walkers, steps, trials, p.Seed+uint64(gr.graph.NumNodes()))
+		bias, relStd, err := sizeTrialStats(p, gr.graph, walkers, steps, trials, p.Seed+uint64(gr.graph.NumNodes()))
 		if err != nil {
 			return nil, err
 		}
@@ -155,11 +172,11 @@ func runE14(p Params) (*Outcome, error) {
 	}
 	// Concentration improves with n^2 t: quadruple t, expect relative
 	// std to drop by about half.
-	_, rs1, err := sizeTrialStats(graphs[0].graph, walkers, steps, trials, p.Seed+101)
+	_, rs1, err := sizeTrialStats(p, graphs[0].graph, walkers, steps, trials, p.Seed+101)
 	if err != nil {
 		return nil, err
 	}
-	_, rs4, err := sizeTrialStats(graphs[0].graph, walkers, 4*steps, trials, p.Seed+202)
+	_, rs4, err := sizeTrialStats(p, graphs[0].graph, walkers, 4*steps, trials, p.Seed+202)
 	if err != nil {
 		return nil, err
 	}
@@ -185,16 +202,24 @@ func runE15(p Params) (*Outcome, error) {
 	var lastRelStd float64
 	var scaled []float64
 	for _, n := range []int{10, 40, 160, 640} {
-		var ds []float64
-		for trial := 0; trial < trials; trial++ {
-			w, err := netsize.NewWalkersStationary(g, n, s.Split(uint64(n*10000+trial)))
-			if err != nil {
-				return nil, err
-			}
-			ds = append(ds, w.EstimateAvgDegree())
+		n := n
+		res, err := p.runTrials(TrialSpec{
+			Name:   "E15",
+			Trials: trials,
+			Seed:   p.Seed + uint64(n)<<20,
+			Run: func(tr Trial) (TrialResult, error) {
+				w, err := netsize.NewWalkersStationary(g, n, tr.Stream)
+				if err != nil {
+					return TrialResult{}, err
+				}
+				return TrialResult{Samples: []float64{w.EstimateAvgDegree()}}, nil
+			},
+		})
+		if err != nil {
+			return nil, err
 		}
-		relStd := stats.StdDev(ds) / truth
-		tb.AddRow(n, stats.Mean(ds), truth, relStd, relStd*math.Sqrt(float64(n)))
+		relStd := res.StdDev() / truth
+		tb.AddRow(n, res.Mean(), truth, relStd, relStd*math.Sqrt(float64(n)))
 		lastRelStd = relStd
 		scaled = append(scaled, relStd*math.Sqrt(float64(n)))
 	}
@@ -230,36 +255,46 @@ func runE16(p Params) (*Outcome, error) {
 	truth := 1 / float64(g.NumNodes())
 
 	runStrategy := func(name string, walkers, steps int) error {
-		var cs []float64
-		var queries int64
-		for trial := 0; trial < trials; trial++ {
-			w, err := netsize.NewWalkersAtSeed(g, walkers, 0, s.Split(uint64(len(name)*1000+trial)))
-			if err != nil {
-				return err
-			}
-			w.BurnIn(m)
-			var c float64
-			if steps == 0 {
-				c = w.KatzirEstimate(0).C
-			} else {
-				res, err := w.EstimateSize(steps, 0)
+		res, err := p.runTrials(TrialSpec{
+			Name:   "E16-" + name,
+			Trials: trials,
+			Seed:   p.Seed + uint64(len(name))<<32,
+			Run: func(tr Trial) (TrialResult, error) {
+				var r TrialResult
+				w, err := netsize.NewWalkersAtSeed(g, walkers, 0, tr.Stream)
 				if err != nil {
-					return err
+					return r, err
 				}
-				c = res.C
-			}
-			cs = append(cs, c)
-			queries += w.Queries()
+				w.BurnIn(m)
+				var c float64
+				if steps == 0 {
+					c = w.KatzirEstimate(0).C
+				} else {
+					est, err := w.EstimateSize(steps, 0)
+					if err != nil {
+						return r, err
+					}
+					c = est.C
+				}
+				r.Samples = []float64{c}
+				r.Set("queries", float64(w.Queries()))
+				return r, nil
+			},
+		})
+		if err != nil {
+			return err
 		}
+		cs := res.Samples()
 		med := stats.Median(cs)
 		size := math.Inf(1)
 		if med > 0 {
 			size = 1 / med
 		}
 		relErr := stats.Mean(stats.RelErrors(cs, truth))
-		tb.AddRow(name, walkers, steps, queries/int64(trials), size, relErr)
+		meanQueries := res.MeanValue("queries")
+		tb.AddRow(name, walkers, steps, meanQueries, size, relErr)
 		out.Metrics["relerr_"+name] = relErr
-		out.Metrics["queries_"+name] = float64(queries / int64(trials))
+		out.Metrics["queries_"+name] = meanQueries
 		return nil
 	}
 
@@ -301,46 +336,47 @@ func runE17(p Params) (*Outcome, error) {
 	steps := pick(p, 100, 40)
 	truth := 1 / float64(g.NumNodes())
 
-	measure := func(burn int, stationary bool, seedBase uint64) (float64, error) {
-		var cs []float64
-		for trial := 0; trial < trials; trial++ {
-			var c float64
-			if stationary {
-				w, err := netsize.NewWalkersStationary(g, walkers, s.Split(seedBase+uint64(trial)))
-				if err != nil {
-					return 0, err
+	measure := func(name string, burn int, stationary bool, seedBase uint64) (float64, error) {
+		res, err := p.runTrials(TrialSpec{
+			Name:   "E17-" + name,
+			Trials: trials,
+			Seed:   p.Seed + seedBase,
+			Run: func(tr Trial) (TrialResult, error) {
+				var w *netsize.Walkers
+				var err error
+				if stationary {
+					w, err = netsize.NewWalkersStationary(g, walkers, tr.Stream)
+				} else {
+					w, err = netsize.NewWalkersAtSeed(g, walkers, 0, tr.Stream)
 				}
-				res, err := w.EstimateSize(steps, 0)
 				if err != nil {
-					return 0, err
+					return TrialResult{}, err
 				}
-				c = res.C
-			} else {
-				w, err := netsize.NewWalkersAtSeed(g, walkers, 0, s.Split(seedBase+uint64(trial)))
+				if !stationary {
+					w.BurnIn(burn)
+				}
+				est, err := w.EstimateSize(steps, 0)
 				if err != nil {
-					return 0, err
+					return TrialResult{}, err
 				}
-				w.BurnIn(burn)
-				res, err := w.EstimateSize(steps, 0)
-				if err != nil {
-					return 0, err
-				}
-				c = res.C
-			}
-			cs = append(cs, c)
+				return TrialResult{Samples: []float64{est.C}}, nil
+			},
+		})
+		if err != nil {
+			return 0, err
 		}
-		return stats.Mean(cs) / truth, nil
+		return res.Mean() / truth, nil
 	}
 
-	noBurn, err := measure(0, false, 10000)
+	noBurn, err := measure("noburn", 0, false, 10000)
 	if err != nil {
 		return nil, err
 	}
-	fullBurn, err := measure(m, false, 20000)
+	fullBurn, err := measure("fullburn", m, false, 20000)
 	if err != nil {
 		return nil, err
 	}
-	stationary, err := measure(0, true, 30000)
+	stationary, err := measure("stationary", 0, true, 30000)
 	if err != nil {
 		return nil, err
 	}

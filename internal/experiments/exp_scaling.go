@@ -59,28 +59,36 @@ func runE25(p Params) (*Outcome, error) {
 		}
 
 		run := func(walkers, steps int, seedBase uint64) (queries, relErr float64, err error) {
-			var cs []float64
-			var q int64
-			for trial := 0; trial < trials; trial++ {
-				w, err := netsize.NewWalkersAtSeed(g, walkers, 0, s.Split(seedBase+uint64(trial)))
-				if err != nil {
-					return 0, 0, err
-				}
-				w.BurnIn(m)
-				var c float64
-				if steps == 0 {
-					c = w.KatzirEstimate(0).C
-				} else {
-					res, err := w.EstimateSize(steps, 0)
+			res, err := p.runTrials(TrialSpec{
+				Name:   "E25",
+				Trials: trials,
+				Seed:   p.Seed + seedBase,
+				Run: func(tr Trial) (TrialResult, error) {
+					var r TrialResult
+					w, err := netsize.NewWalkersAtSeed(g, walkers, 0, tr.Stream)
 					if err != nil {
-						return 0, 0, err
+						return r, err
 					}
-					c = res.C
-				}
-				cs = append(cs, c)
-				q += w.Queries()
+					w.BurnIn(m)
+					var c float64
+					if steps == 0 {
+						c = w.KatzirEstimate(0).C
+					} else {
+						est, err := w.EstimateSize(steps, 0)
+						if err != nil {
+							return r, err
+						}
+						c = est.C
+					}
+					r.Samples = []float64{c}
+					r.Set("queries", float64(w.Queries()))
+					return r, nil
+				},
+			})
+			if err != nil {
+				return 0, 0, err
 			}
-			return float64(q) / float64(trials), stats.Mean(stats.RelErrors(cs, truth)), nil
+			return res.MeanValue("queries"), stats.Mean(stats.RelErrors(res.Samples(), truth)), nil
 		}
 
 		qk, ek, err := run(nK, 0, uint64(side)*100)

@@ -63,12 +63,81 @@ func init() {
 	})
 }
 
+// mcBlocks is the fixed number of blocks a Monte Carlo walk
+// measurement is split into for the trial runner. It is a constant —
+// never derived from the worker count — so the block decomposition,
+// and with it every measured curve, is identical however many workers
+// execute it.
+const mcBlocks = 16
+
+// numBlocks returns how many blocks a trial budget splits into: the
+// fixed mcBlocks, capped so no block is empty.
+func numBlocks(trials int) int {
+	if trials < mcBlocks {
+		return trials
+	}
+	return mcBlocks
+}
+
+// blockSplit sizes block i of total trials split across numBlocks.
+func blockSplit(trials, i int) int {
+	blocks := numBlocks(trials)
+	n := trials / blocks
+	if i < trials%blocks {
+		n++
+	}
+	return n
+}
+
+// mcCurve measures a Monte Carlo probability curve in parallel: the
+// trial budget is split into fixed blocks, each block runs measure on
+// its own substream, and the block curves are averaged element-wise
+// weighted by block size.
+func mcCurve(p Params, name string, trials int, seed uint64, measure func(trials int, s *rng.Stream) []float64) ([]float64, error) {
+	res, err := p.runTrials(TrialSpec{
+		Name:   name,
+		Trials: numBlocks(trials),
+		Seed:   seed,
+		Run: func(tr Trial) (TrialResult, error) {
+			n := blockSplit(trials, tr.Index)
+			r := TrialResult{Samples: measure(n, tr.Stream)}
+			r.SetWeight(float64(n))
+			return r, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.MeanCurve(), nil
+}
+
+// mcSamples pools per-walk samples from a block-split Monte Carlo
+// measurement in block order.
+func mcSamples(p Params, name string, trials int, seed uint64, measure func(trials int, s *rng.Stream) []float64) ([]float64, error) {
+	res, err := p.runTrials(TrialSpec{
+		Name:   name,
+		Trials: numBlocks(trials),
+		Seed:   seed,
+		Run: func(tr Trial) (TrialResult, error) {
+			return TrialResult{Samples: measure(blockSplit(trials, tr.Index), tr.Stream)}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Samples(), nil
+}
+
 func runE04(p Params) (*Outcome, error) {
 	g := topology.MustTorus(2, 512)
 	trials := pick(p, 200000, 20000)
 	maxM := pick(p, 256, 64)
-	s := rng.New(p.Seed)
-	curve := walk.RecollisionCurve(g, 0, maxM, trials, s)
+	curve, err := mcCurve(p, "E04", trials, p.Seed, func(n int, s *rng.Stream) []float64 {
+		return walk.RecollisionCurve(g, 0, maxM, n, s)
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := expfmt.NewTable("m", "P[re-collision]", "m * P", "Lemma4 1/(m+1)")
 	var xs, ys []float64
 	for m := 2; m <= maxM; m *= 2 {
@@ -89,8 +158,12 @@ func runE05(p Params) (*Outcome, error) {
 	g := topology.MustTorus(2, 512)
 	trials := pick(p, 300000, 30000)
 	maxM := pick(p, 128, 32)
-	s := rng.New(p.Seed)
-	curve := walk.EqualizationCurve(g, g.Node(11, 13), maxM, trials, s)
+	curve, err := mcCurve(p, "E05", trials, p.Seed, func(n int, s *rng.Stream) []float64 {
+		return walk.EqualizationCurve(g, g.Node(11, 13), maxM, n, s)
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := expfmt.NewTable("m", "P[equalize]", "m * P", "2/(pi m)")
 	var xs, ys []float64
 	oddMass := 0.0
@@ -121,7 +194,6 @@ func runE05(p Params) (*Outcome, error) {
 func runE06(p Params) (*Outcome, error) {
 	g := topology.MustTorus(2, 64) // A = 4096
 	trials := pick(p, 40000, 5000)
-	s := rng.New(p.Seed)
 	tb := expfmt.NewTable("t", "Var(c_j)", "(t/A) log^2 2t", "ratio", "E[equalizations]", "log 2t")
 	out := &Outcome{Metrics: map[string]float64{}}
 	ts := []int{256, 1024, 4096}
@@ -131,10 +203,21 @@ func runE06(p Params) (*Outcome, error) {
 	var ratios []float64
 	var eqMeans, eqLogs []float64
 	for i, t := range ts {
-		pair := walk.PairCollisionCounts(g, t, trials, s.Split(uint64(i)))
+		t := t
+		pair, err := mcSamples(p, "E06-pair", trials, p.Seed+uint64(i), func(n int, s *rng.Stream) []float64 {
+			return walk.PairCollisionCounts(g, t, n, s)
+		})
+		if err != nil {
+			return nil, err
+		}
 		v := stats.Variance(pair)
 		scale := float64(t) / float64(g.NumNodes()) * math.Pow(math.Log(2*float64(t)), 2)
-		eq := walk.EqualizationCounts(g, t, trials/2, s.Split(uint64(100+i)))
+		eq, err := mcSamples(p, "E06-eq", trials/2, p.Seed+uint64(100+i), func(n int, s *rng.Stream) []float64 {
+			return walk.EqualizationCounts(g, t, n, s)
+		})
+		if err != nil {
+			return nil, err
+		}
 		eqMean := stats.Mean(eq)
 		tb.AddRow(t, v, scale, v/scale, eqMean, math.Log(2*float64(t)))
 		ratios = append(ratios, v/scale)
@@ -160,8 +243,12 @@ func runE07(p Params) (*Outcome, error) {
 	}
 	trials := pick(p, 120000, 15000)
 	maxM := pick(p, 256, 64)
-	s := rng.New(p.Seed)
-	curve := walk.RecollisionCurve(ringBig, 0, maxM, trials, s)
+	curve, err := mcCurve(p, "E07", trials, p.Seed, func(n int, s *rng.Stream) []float64 {
+		return walk.RecollisionCurve(ringBig, 0, maxM, n, s)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var xs, ys []float64
 	for m := 2; m <= maxM; m += 2 {
 		xs = append(xs, float64(m))
@@ -184,7 +271,7 @@ func runE07(p Params) (*Outcome, error) {
 	tb := expfmt.NewTable("rounds t", "mean |rel err|", "Thm21 shape t^(-1/4)")
 	var exs, eys []float64
 	for _, t := range ts {
-		errs, _, err := algorithm1Errors(ringSmall, agents, t, estTrials, p.Seed+uint64(t))
+		errs, _, err := algorithm1Errors(p, ringSmall, agents, t, estTrials, p.Seed+uint64(t))
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +297,6 @@ func runE07(p Params) (*Outcome, error) {
 func runE08(p Params) (*Outcome, error) {
 	trials := pick(p, 150000, 15000)
 	maxM := pick(p, 64, 32)
-	s := rng.New(p.Seed)
 	tb := expfmt.NewTable("k", "measured exponent", "paper -k/2", "B(64) measured", "B(64) series")
 	out := &Outcome{Metrics: map[string]float64{}}
 	for _, k := range []int{3, 4} {
@@ -219,7 +305,12 @@ func runE08(p Params) (*Outcome, error) {
 			side = 32
 		}
 		g := topology.MustTorus(k, side)
-		curve := walk.RecollisionCurve(g, 0, maxM, trials, s.Split(uint64(k)))
+		curve, err := mcCurve(p, "E08", trials, p.Seed+uint64(k), func(n int, s *rng.Stream) []float64 {
+			return walk.RecollisionCurve(g, 0, maxM, n, s)
+		})
+		if err != nil {
+			return nil, err
+		}
 		var xs, ys []float64
 		for m := 2; m <= maxM; m += 2 {
 			if curve[m] > 0 {
@@ -240,11 +331,11 @@ func runE08(p Params) (*Outcome, error) {
 	const agents = 174 // d ~ 0.1
 	t := pick(p, 1500, 300)
 	estTrials := pick(p, 6, 2)
-	errs3, _, err := algorithm1Errors(g3, agents, t, estTrials, p.Seed+11)
+	errs3, _, err := algorithm1Errors(p, g3, agents, t, estTrials, p.Seed+11)
 	if err != nil {
 		return nil, err
 	}
-	errsC, _, err := algorithm1Errors(complete, agents, t, estTrials, p.Seed+12)
+	errsC, _, err := algorithm1Errors(p, complete, agents, t, estTrials, p.Seed+12)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +362,12 @@ func runE09(p Params) (*Outcome, error) {
 	lambda := topology.SpectralGap(g, 300, s.Split(1))
 	trials := pick(p, 200000, 20000)
 	maxM := pick(p, 20, 12)
-	curve := walk.RecollisionCurve(g, 0, maxM, trials, s.Split(2))
+	curve, err := mcCurve(p, "E09", trials, p.Seed+2, func(n int, s *rng.Stream) []float64 {
+		return walk.RecollisionCurve(g, 0, maxM, n, s)
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := expfmt.NewTable("m", "P[re-collision]", "lambda^m + 1/A", "within bound")
 	violations := 0
 	for m := 1; m <= maxM; m++ {
@@ -299,8 +395,12 @@ func runE10(p Params) (*Outcome, error) {
 	h := topology.MustHypercube(bits)
 	trials := pick(p, 200000, 20000)
 	maxM := pick(p, 40, 20)
-	s := rng.New(p.Seed)
-	curve := walk.RecollisionCurve(h, 0, maxM, trials, s)
+	curve, err := mcCurve(p, "E10", trials, p.Seed, func(n int, s *rng.Stream) []float64 {
+		return walk.RecollisionCurve(h, 0, maxM, n, s)
+	})
+	if err != nil {
+		return nil, err
+	}
 	floor := 1 / math.Sqrt(float64(h.NumNodes()))
 	tb := expfmt.NewTable("m", "P[re-collision]", "(9/10)^(m-1) + 1/sqrt(A)", "within bound")
 	violations := 0
@@ -359,7 +459,13 @@ func runE11(p Params) (*Outcome, error) {
 	tb := expfmt.NewTable(tbHeaders...)
 	out := &Outcome{Metrics: map[string]float64{}}
 	for i, tp := range topos {
-		curve := walk.RecollisionCurve(tp.graph, 0, maxM, trials, s.Split(uint64(i)))
+		tp := tp
+		curve, err := mcCurve(p, "E11-"+tp.name, trials, p.Seed+uint64(i), func(n int, s *rng.Stream) []float64 {
+			return walk.RecollisionCurve(tp.graph, 0, maxM, n, s)
+		})
+		if err != nil {
+			return nil, err
+		}
 		bt := walk.SumCurve(curve)
 		row := []any{tp.name}
 		for _, c := range checkpoints {

@@ -24,6 +24,15 @@ type Params struct {
 	// Out receives the experiment's formatted tables; nil discards
 	// them.
 	Out io.Writer
+	// Workers bounds the trial runner's concurrency; <= 0 means
+	// GOMAXPROCS. Every aggregate is bit-identical for every value —
+	// see RunTrials.
+	Workers int
+}
+
+// runTrials executes spec under p's worker budget.
+func (p Params) runTrials(spec TrialSpec) (*ExperimentResult, error) {
+	return RunTrials(spec, RunConfig{Workers: p.Workers})
 }
 
 func (p Params) out() io.Writer {

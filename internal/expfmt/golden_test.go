@@ -1,0 +1,51 @@
+package expfmt_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"antdensity/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestExperimentTableGolden locks the exact rendered output of a
+// small fixed-seed experiment run — table layout, float formatting,
+// and the numbers themselves. Any runner or formatting refactor that
+// silently changes a reported value fails here; an intended change is
+// recorded with go test ./internal/expfmt -run Golden -update.
+func TestExperimentTableGolden(t *testing.T) {
+	for _, id := range []string{"E01", "E12"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			var sb strings.Builder
+			if _, err := e.Run(experiments.Params{Seed: 12345, Quick: true, Out: &sb}); err != nil {
+				t.Fatal(err)
+			}
+			got := sb.String()
+			path := filepath.Join("testdata", strings.ToLower(id)+"_quick.golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden: %v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden file %s\n--- got\n%s--- want\n%s", id, path, got, want)
+			}
+		})
+	}
+}

@@ -117,13 +117,14 @@ func (w *Walkers) weightedCollisions() float64 {
 	for _, p := range w.pos {
 		occ[p]++
 	}
+	// Each of the c walkers at v sees c-1 others, weighted 1/deg(v).
+	// Accumulate per walker, in walker-index order — never by ranging
+	// over the map — so the float sum is bit-identical across runs.
 	var sum float64
-	for v, c := range occ {
-		if c < 2 {
-			continue
+	for _, p := range w.pos {
+		if c := occ[p]; c > 1 {
+			sum += float64(c-1) / float64(w.graph.Degree(p))
 		}
-		// Each of the c walkers at v sees c-1 others, weighted 1/deg(v).
-		sum += float64(c) * float64(c-1) / float64(w.graph.Degree(v))
 	}
 	return sum
 }

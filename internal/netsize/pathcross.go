@@ -53,24 +53,38 @@ func (w *Walkers) CrossRoundEstimate(t int, invAvgDegree float64) (*Result, erro
 	// X = sum_v (1/deg v) * [ (sum_i m_iv)^2 - sum_i m_iv^2 ],
 	// where m_iv is walk i's visit count at v. The bracket counts
 	// ordered cross-walk round pairs exactly.
-	perVertex := make(map[int64]map[int]int64)
+	// Record, per vertex, the ids of the walks that visit it. Walks
+	// are processed in ascending id order, so each vertex's visit
+	// list is sorted and runs of equal ids are per-walk visit counts;
+	// total storage stays O(total visits). Vertices are consumed in
+	// first-visit order (kept in `order`) and runs in walk-id order,
+	// so the float accumulation below is bit-identical across runs —
+	// ranging over the map would make the sum depend on iteration
+	// order.
+	perVertex := make(map[int64][]int32, n*(t+1))
+	var order []int64
 	for i, path := range paths {
 		for _, v := range path {
-			visits := perVertex[v]
-			if visits == nil {
-				visits = make(map[int]int64, 4)
-				perVertex[v] = visits
+			visits, seen := perVertex[v]
+			if !seen {
+				order = append(order, v)
 			}
-			visits[i]++
+			perVertex[v] = append(visits, int32(i))
 		}
 	}
 	var x float64
-	for v, visits := range perVertex {
+	for _, v := range order {
+		ids := perVertex[v]
 		var tot, sq float64
-		for _, m := range visits {
-			fm := float64(m)
+		for start := 0; start < len(ids); {
+			end := start + 1
+			for end < len(ids) && ids[end] == ids[start] {
+				end++
+			}
+			fm := float64(end - start)
 			tot += fm
 			sq += fm * fm
+			start = end
 		}
 		x += (tot*tot - sq) / float64(w.graph.Degree(v))
 	}

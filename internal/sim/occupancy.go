@@ -28,6 +28,69 @@ func (w *World) CountsAll() []int {
 // positions. It exists to validate and benchmark the hash-based
 // occupancy index against a comparison-based alternative.
 func (w *World) CountsAllSorted() []int {
+	return w.countsSorted(func(int) bool { return true })
+}
+
+// CountsTaggedAll returns every agent's CountTagged in one pass over
+// the occupancy index — the tagged variant of CountsAll.
+func (w *World) CountsTaggedAll() []int {
+	if w.occDirty {
+		w.rebuildOcc()
+	}
+	out := make([]int, len(w.pos))
+	for i, p := range w.pos {
+		c := int(w.occ[p].tagged)
+		if w.tagged[i] {
+			c--
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// CountsTaggedAllSorted is the comparison-based ablation twin of
+// CountsTaggedAll.
+func (w *World) CountsTaggedAllSorted() []int {
+	return w.countsSorted(func(i int) bool { return w.tagged[i] })
+}
+
+// CountsInGroupAll returns every agent's CountInGroup for the given
+// positive group in one pass — the per-task variant of CountsAll.
+func (w *World) CountsInGroupAll(group int) []int {
+	if group <= 0 {
+		panic("sim: CountsInGroupAll needs a positive group")
+	}
+	if w.occDirty {
+		w.rebuildOcc()
+	}
+	g := int32(group)
+	out := make([]int, len(w.pos))
+	for i, p := range w.pos {
+		c := int(w.occGroup[groupKey{pos: p, group: g}])
+		if w.groups[i] == g {
+			c--
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// CountsInGroupAllSorted is the comparison-based ablation twin of
+// CountsInGroupAll.
+func (w *World) CountsInGroupAllSorted(group int) []int {
+	if group <= 0 {
+		panic("sim: CountsInGroupAllSorted needs a positive group")
+	}
+	g := int32(group)
+	return w.countsSorted(func(i int) bool { return w.groups[i] == g })
+}
+
+// countsSorted computes, for every agent, the number of *other*
+// agents at its position satisfying member, by sorting a copy of the
+// position array and scanning runs of equal positions. member
+// receiving the identity predicate reproduces CountsAll; tag- and
+// group-membership predicates give the property/task variants.
+func (w *World) countsSorted(member func(agent int) bool) []int {
 	n := len(w.pos)
 	type slot struct {
 		pos   int64
@@ -44,9 +107,18 @@ func (w *World) CountsAllSorted() []int {
 		for end < n && slots[end].pos == slots[start].pos {
 			end++
 		}
-		occ := end - start
+		members := 0
 		for k := start; k < end; k++ {
-			out[slots[k].agent] = occ - 1
+			if member(int(slots[k].agent)) {
+				members++
+			}
+		}
+		for k := start; k < end; k++ {
+			c := members
+			if member(int(slots[k].agent)) {
+				c--
+			}
+			out[slots[k].agent] = c
 		}
 		start = end
 	}

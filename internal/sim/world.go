@@ -248,8 +248,10 @@ func (w *World) rebuildOcc() {
 		}
 		w.occ[p] = c
 	}
+	// Always clear the group index: stale entries must not survive
+	// the last member of a group being cleared.
+	clear(w.occGroup)
 	if len(w.numGroup) > 0 {
-		clear(w.occGroup)
 		for i, p := range w.pos {
 			if g := w.groups[i]; g != 0 {
 				w.occGroup[groupKey{pos: p, group: g}]++

@@ -222,6 +222,17 @@ func MedianOfMeans(xs []float64, groups int) float64 {
 	return Median(means)
 }
 
+// MeanCI95 returns the 95% normal-approximation confidence-interval
+// half-width of the sample mean, 1.96 * s / sqrt(n) with s the
+// unbiased sample standard deviation. It returns +Inf for fewer than
+// two samples, where the width is undefined.
+func MeanCI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * math.Sqrt(SampleVariance(xs)/float64(len(xs)))
+}
+
 // LinearFit is the least-squares line y = Intercept + Slope*x together
 // with the coefficient of determination.
 type LinearFit struct {

@@ -239,3 +239,31 @@ func TestMeanPropertyShiftInvariance(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMeanCI95(t *testing.T) {
+	if ci := MeanCI95(nil); !math.IsInf(ci, 1) {
+		t.Errorf("MeanCI95(nil) = %v, want +Inf", ci)
+	}
+	if ci := MeanCI95([]float64{3}); !math.IsInf(ci, 1) {
+		t.Errorf("MeanCI95(single) = %v, want +Inf", ci)
+	}
+	// n samples of {0, 2} alternating: sample variance 4n/(4(n-1)) ->
+	// known closed form; check against direct computation.
+	xs := []float64{0, 2, 0, 2, 0, 2, 0, 2}
+	want := 1.96 * math.Sqrt(SampleVariance(xs)/float64(len(xs)))
+	if got := MeanCI95(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanCI95 = %v, want %v", got, want)
+	}
+	if got := MeanCI95(xs); got <= 0 {
+		t.Errorf("MeanCI95 = %v, want positive", got)
+	}
+	// Width shrinks like 1/sqrt(n): quadrupling the sample count
+	// should roughly halve the CI on iid-like data.
+	big := make([]float64, 4*len(xs))
+	for i := range big {
+		big[i] = xs[i%len(xs)]
+	}
+	if r := MeanCI95(big) / MeanCI95(xs); r < 0.4 || r > 0.6 {
+		t.Errorf("CI shrink ratio = %v, want ~0.5", r)
+	}
+}
