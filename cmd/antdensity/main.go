@@ -5,8 +5,8 @@
 // Usage:
 //
 //	antdensity list
-//	antdensity run [-seed N] [-quick] [-workers W] <exp-id>|all
-//	antdensity estimate [-dims K] [-side L] [-agents N] [-rounds T] [-seed N]
+//	antdensity run [-seed N] [-quick] [-workers W] [-cpuprofile F] <exp-id>|all
+//	antdensity estimate [-dims K] [-side L] [-agents N] [-rounds T] [-seed N] [-cpuprofile F]
 //	antdensity netsize  [-graph ba|er|ws|torus3] [-nodes N] [-walkers W] [-steps T] [-seed N]
 //	antdensity walk     [-topo torus2d|ring|torus3d|hypercube] [-steps M] [-trials K] [-seed N]
 package main
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"antdensity/internal/core"
 	"antdensity/internal/experiments"
@@ -91,8 +92,16 @@ func cmdRun(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	quick := fs.Bool("quick", false, "reduced trial counts")
 	workers := fs.Int("workers", 0, "trial-runner goroutines (0 = all CPUs); results are identical for any value")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (inspect with 'go tool pprof')")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		stop, err := startCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 	ids := fs.Args()
 	if len(ids) == 0 {
@@ -120,6 +129,23 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// startCPUProfile begins profiling into path and returns a function
+// that stops the profile and closes the file.
+func startCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
 func cmdEstimate(args []string) error {
 	fs := flag.NewFlagSet("estimate", flag.ContinueOnError)
 	dims := fs.Int("dims", 2, "torus dimensions")
@@ -127,8 +153,16 @@ func cmdEstimate(args []string) error {
 	agents := fs.Int("agents", 1001, "number of agents")
 	rounds := fs.Int("rounds", 1000, "rounds of Algorithm 1")
 	seed := fs.Uint64("seed", 1, "random seed")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the estimation run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		stop, err := startCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 	g, err := topology.NewTorus(*dims, *side)
 	if err != nil {

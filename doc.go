@@ -10,8 +10,15 @@
 //     Algorithm 4 (independent-sampling baseline), property-frequency
 //     estimation, and the paper's closed-form bounds.
 //   - internal/sim — the synchronous multi-agent model of Section 2.
+//     Its hot path is allocation-free in steady state: an incrementally
+//     maintained occupancy index (dense array or sparse map, chosen by
+//     a memory-budget rule), BulkStepper policies with devirtualized
+//     arithmetic inner loops on regular topologies, and a persistent
+//     worker pool behind StepParallel — all proven bit-identical to
+//     the scalar reference paths by property tests.
 //   - internal/topology — tori, rings, hypercubes, complete graphs,
-//     random regular expanders, adjacency graphs, spectral tools.
+//     random regular expanders, adjacency graphs, spectral tools, and
+//     the devirtualized fast-path step kernels used by sim and walk.
 //   - internal/walk — re-collision / equalization measurements.
 //   - internal/netsize, internal/socialnet — the Section 5.1
 //     network-size application and its synthetic networks.

@@ -54,6 +54,16 @@ func New(seed uint64) *Stream {
 // parent stream, so the same (parent state, id) pair always yields the
 // same child.
 func (s *Stream) Split(id uint64) *Stream {
+	c := s.SplitValue(id)
+	return &c
+}
+
+// SplitValue is Split returning the child by value, so callers can
+// store many streams contiguously (e.g. one []Stream element per
+// simulated agent) without a heap allocation and pointer chase per
+// stream. The child state is identical to Split's for the same
+// (parent state, id) pair.
+func (s *Stream) SplitValue(id uint64) Stream {
 	// Mix the parent state with the label through splitmix64 so that
 	// nearby ids land far apart in state space.
 	st := s.s0 ^ rotl(s.s2, 17) ^ (id * 0x9e3779b97f4a7c15)
@@ -62,7 +72,7 @@ func (s *Stream) Split(id uint64) *Stream {
 	c.s1 = splitmix64(&st)
 	c.s2 = splitmix64(&st)
 	c.s3 = splitmix64(&st)
-	return &c
+	return c
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
@@ -78,6 +88,23 @@ func (s *Stream) Uint64() uint64 {
 	s.s2 ^= t
 	s.s3 = rotl(s.s3, 45)
 	return result
+}
+
+// Next is the value-receiver twin of Uint64: it returns the next 64
+// random bits together with the advanced stream, leaving the receiver
+// unchanged. Hot loops can keep a Stream in a local (often in
+// registers) and write it back once, instead of mutating through a
+// pointer on every draw. The output sequence is identical to Uint64's.
+func (s Stream) Next() (uint64, Stream) {
+	result := rotl(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result, s
 }
 
 // Intn returns a uniformly random integer in [0, n). It panics if

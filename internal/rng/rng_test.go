@@ -255,3 +255,39 @@ func BenchmarkIntn4(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestSplitValueMatchesSplit(t *testing.T) {
+	parent := New(99)
+	for id := uint64(0); id < 50; id++ {
+		byPtr := parent.Split(id)
+		byVal := parent.SplitValue(id)
+		for draw := 0; draw < 8; draw++ {
+			want := byPtr.Uint64()
+			var got uint64
+			got, byVal = byVal.Next()
+			if got != want {
+				t.Fatalf("id %d draw %d: SplitValue/Next = %d, Split/Uint64 = %d", id, draw, got, want)
+			}
+		}
+	}
+}
+
+func TestNextMatchesUint64(t *testing.T) {
+	ptr := New(7)
+	val := *New(7)
+	for i := 0; i < 1000; i++ {
+		want := ptr.Uint64()
+		var got uint64
+		got, val = val.Next()
+		if got != want {
+			t.Fatalf("draw %d: Next = %d, Uint64 = %d", i, got, want)
+		}
+	}
+	// Next must leave its receiver untouched.
+	fixed := *New(11)
+	a, _ := fixed.Next()
+	b, _ := fixed.Next()
+	if a != b {
+		t.Errorf("Next mutated its value receiver: %d then %d", a, b)
+	}
+}

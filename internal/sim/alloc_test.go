@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"antdensity/internal/topology"
+)
+
+// Allocation regression tests pinning the hot path at zero
+// steady-state allocations: once the occupancy index is live and the
+// parallel pool is warm, Step, StepParallel, and the count queries
+// must not allocate. A regression here means a per-round map rebuild,
+// goroutine churn, or stream boxing crept back in.
+
+func requireZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(50, f); avg != 0 {
+		t.Errorf("%s allocates %.1f times per round in steady state, want 0", name, avg)
+	}
+}
+
+func TestStepAndCountZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	g := topology.MustTorus(2, 64)
+	w := MustWorld(Config{Graph: g, NumAgents: 4096, Seed: 1})
+	w.SetTagged(0, true)
+	w.Count(0) // build the index once; stepping maintains it from here
+	requireZeroAllocs(t, "Step+Count (dense, bulk)", func() {
+		w.Step()
+		_ = w.Count(17)
+		_ = w.CountTagged(17)
+	})
+
+	// The scalar per-agent path must be allocation-free too.
+	scalar := MustWorld(Config{Graph: g, NumAgents: 1024, Seed: 2})
+	for i := 0; i < scalar.NumAgents(); i++ {
+		scalar.SetPolicy(i, RandomWalk{})
+	}
+	scalar.Count(0)
+	requireZeroAllocs(t, "Step+Count (scalar path)", func() {
+		scalar.Step()
+		_ = scalar.Count(3)
+	})
+}
+
+func TestStepParallelZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	g := topology.MustTorus(2, 64)
+	w := MustWorld(Config{Graph: g, NumAgents: 4096, Seed: 3})
+	defer w.Close()
+	w.Count(0)
+	w.StepParallel(4) // create and warm the persistent pool
+	requireZeroAllocs(t, "StepParallel(4)", func() {
+		w.StepParallel(4)
+	})
+}
+
+func TestCountZeroAllocsSparse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	// Queries on the sparse index are allocation-free as well (the
+	// steady-state stepping path may rarely touch map internals, so
+	// only the query side is pinned for sparse).
+	g := topology.MustTorus(2, 3000)
+	w := MustWorld(Config{Graph: g, NumAgents: 512, Seed: 4})
+	w.Count(0)
+	requireZeroAllocs(t, "Count (sparse)", func() {
+		_ = w.Count(11)
+		_ = w.CountTagged(11)
+	})
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"antdensity/internal/topology"
+)
+
+// Microbenchmarks for the simulation hot path. One op of
+// BenchmarkWorldStep is a single synchronous round of movement; one op
+// of BenchmarkWorldCount is a full Algorithm 1 inner round (Step once,
+// then serve Count for every agent). Before/after numbers for PR 2 are
+// recorded in BENCH_PR2.json at the repository root.
+
+type benchTopo struct {
+	name string
+	make func() topology.Graph
+}
+
+// benchTopos covers all four regular families. torus2d-4096 (16.8M
+// nodes) exceeds the dense occupancy budget and exercises the sparse
+// map index; the others fit the dense array.
+func benchTopos() []benchTopo {
+	return []benchTopo{
+		{"torus2d-512", func() topology.Graph { return topology.MustTorus(2, 512) }},
+		{"torus2d-4096", func() topology.Graph { return topology.MustTorus(2, 4096) }},
+		{"ring-262144", func() topology.Graph {
+			g, err := topology.NewRing(262144)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}},
+		{"hypercube-18", func() topology.Graph { return topology.MustHypercube(18) }},
+		{"complete-65536", func() topology.Graph { return topology.MustComplete(65536) }},
+	}
+}
+
+func BenchmarkWorldStep(b *testing.B) {
+	for _, tp := range benchTopos() {
+		for _, agents := range []int{10000, 100000} {
+			b.Run(fmt.Sprintf("%s/%d", tp.name, agents), func(b *testing.B) {
+				w := MustWorld(Config{Graph: tp.make(), NumAgents: agents, Seed: 1})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.Step()
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkWorldCount(b *testing.B) {
+	const agents = 100000
+	for _, tp := range benchTopos() {
+		b.Run(fmt.Sprintf("%s/%d", tp.name, agents), func(b *testing.B) {
+			w := MustWorld(Config{Graph: tp.make(), NumAgents: agents, Seed: 1})
+			w.Step()
+			sink := w.Count(0) // reach steady state before timing
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+				for a := 0; a < agents; a++ {
+					sink += w.Count(a)
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkWorldStepParallel(b *testing.B) {
+	g := topology.MustTorus(2, 512)
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("torus2d-512/100000/w%d", workers), func(b *testing.B) {
+			w := MustWorld(Config{Graph: g, NumAgents: 100000, Seed: 1})
+			w.StepParallel(workers) // warm the worker pool before timing
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.StepParallel(workers)
+			}
+		})
+	}
+}

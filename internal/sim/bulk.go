@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"antdensity/internal/rng"
+	"antdensity/internal/topology"
+)
+
+// BulkStepper is implemented by policies that can advance a whole
+// slice of agents in one call, with per-agent interface dispatch and
+// degree lookups hoisted out of the inner loop.
+//
+// Contract: StepMany either (a) advances every agent exactly as
+// len(pos) scalar Step calls would — moving pos[k] using randomness
+// drawn from streams[k], consuming identical draws in identical order
+// — and reports true, or (b) leaves pos and streams completely
+// untouched and reports false, in which case the caller falls back to
+// scalar stepping. Partial application is forbidden. The built-in
+// policies report true on the arithmetic regular topologies (torus,
+// ring, hypercube, complete graph) and false elsewhere, so switching
+// paths can never change simulation output.
+type BulkStepper interface {
+	Policy
+	StepMany(g topology.Graph, pos []int64, streams []rng.Stream) bool
+}
+
+var (
+	_ BulkStepper = RandomWalk{}
+	_ BulkStepper = Stationary{}
+	_ BulkStepper = Drift{}
+	_ BulkStepper = Lazy{}
+	_ BulkStepper = (*Biased)(nil)
+)
+
+// StepMany moves every agent to a uniformly random neighbor via the
+// topology's devirtualized bulk kernel.
+func (RandomWalk) StepMany(g topology.Graph, pos []int64, streams []rng.Stream) bool {
+	switch t := g.(type) {
+	case *topology.Torus:
+		t.RandomSteps(pos, streams)
+	case *topology.Hypercube:
+		t.RandomSteps(pos, streams)
+	case *topology.Complete:
+		t.RandomSteps(pos, streams)
+	default:
+		return false
+	}
+	return true
+}
+
+// StepMany is a no-op on every graph: stationary agents move nowhere
+// and draw no randomness, exactly like the scalar Step.
+func (Stationary) StepMany(topology.Graph, []int64, []rng.Stream) bool { return true }
+
+// StepMany shifts every agent along the fixed direction with the
+// neighbor index validated once instead of per agent. A direction that
+// is not a valid neighbor index falls back to the scalar path, which
+// panics exactly as Drift.Step would.
+func (d Drift) StepMany(g topology.Graph, pos []int64, _ []rng.Stream) bool {
+	r, ok := g.(topology.Regular)
+	if !ok || d.Direction < 0 || d.Direction >= r.CommonDegree() {
+		return false
+	}
+	switch t := g.(type) {
+	case *topology.Torus:
+		t.ShiftSteps(pos, d.Direction)
+	case *topology.Hypercube:
+		t.ShiftSteps(pos, d.Direction)
+	case *topology.Complete:
+		t.ShiftSteps(pos, d.Direction)
+	default:
+		return false
+	}
+	return true
+}
+
+// StepMany draws each agent's stay/move coin and, when moving, its
+// uniform neighbor, with degree and neighbor arithmetic hoisted.
+func (l Lazy) StepMany(g topology.Graph, pos []int64, streams []rng.Stream) bool {
+	switch t := g.(type) {
+	case *topology.Torus:
+		deg := t.CommonDegree()
+		for k := range pos {
+			s := &streams[k]
+			if !s.Bernoulli(l.StayProb) {
+				pos[k] = t.NeighborUnchecked(pos[k], s.Intn(deg))
+			}
+		}
+	case *topology.Hypercube:
+		deg := t.CommonDegree()
+		for k := range pos {
+			s := &streams[k]
+			if !s.Bernoulli(l.StayProb) {
+				pos[k] = t.NeighborUnchecked(pos[k], s.Intn(deg))
+			}
+		}
+	case *topology.Complete:
+		deg := t.CommonDegree()
+		for k := range pos {
+			s := &streams[k]
+			if !s.Bernoulli(l.StayProb) {
+				pos[k] = t.NeighborUnchecked(pos[k], s.Intn(deg))
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// StepMany samples each agent's weighted neighbor index through the
+// same cumulative table as the scalar Step. Graphs whose common degree
+// is below the weight count fall back to the scalar path, which
+// panics in Neighbor exactly as before.
+func (b *Biased) StepMany(g topology.Graph, pos []int64, streams []rng.Stream) bool {
+	r, ok := g.(topology.Regular)
+	if !ok || len(b.cumulative) > r.CommonDegree() {
+		return false
+	}
+	switch t := g.(type) {
+	case *topology.Torus:
+		for k := range pos {
+			pos[k] = t.NeighborUnchecked(pos[k], b.sample(&streams[k]))
+		}
+	case *topology.Hypercube:
+		for k := range pos {
+			pos[k] = t.NeighborUnchecked(pos[k], b.sample(&streams[k]))
+		}
+	case *topology.Complete:
+		for k := range pos {
+			pos[k] = t.NeighborUnchecked(pos[k], b.sample(&streams[k]))
+		}
+	default:
+		return false
+	}
+	return true
+}

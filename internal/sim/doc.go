@@ -1,0 +1,56 @@
+// Package sim implements the paper's computational model (Section 2):
+// a population of anonymous agents placed on a graph, proceeding in
+// discrete synchronous rounds. In each round every agent takes a step
+// according to its movement policy, and can then sense the number of
+// other agents at its position via count(position), the model's only
+// communication primitive.
+//
+// # Determinism invariant
+//
+// The engine is deterministic: every agent draws from a private
+// rng.Stream split from the world seed (stored contiguously, one
+// value per agent), so the same Config produces the same byte-for-byte
+// results regardless of scheduling. The invariant is load-bearing and
+// guarded by property tests: for a fixed seed, positions and all count
+// queries are identical whether the world steps serially or with any
+// StepParallel worker count, whether policies take the scalar or the
+// BulkStepper fast path, and whether the occupancy index is dense or
+// sparse.
+//
+// # Occupancy index selection
+//
+// count(position) queries are served from an occupancy index with two
+// interchangeable representations. When the graph's node count fits
+// the dense memory budget (at most 1<<22 nodes, 32 MiB of cells), the
+// index is a flat []cell array indexed by node id; larger graphs —
+// including the paper's "A larger than the area agents traverse"
+// regime with 10^12-node tori — use a sparse map keyed by occupied
+// node. Config.Occupancy can force either choice (OccDense, OccSparse)
+// for testing or tuning; OccAuto applies the budget rule. Both
+// representations are maintained incrementally while the world steps:
+// once a count query has built the index, each subsequent round only
+// decrements the cell an agent left and increments the cell it
+// entered, so Count/CountTagged/CountInGroup never trigger an
+// O(agents) rebuild and allocate nothing in steady state.
+//
+// # BulkStepper fast path
+//
+// Policies may additionally implement BulkStepper, whose StepMany
+// advances a whole slice of agents in one call. Implementations must
+// either move every agent exactly as the equivalent sequence of scalar
+// Step calls would — consuming identical randomness from each agent's
+// stream — or leave positions and streams untouched and report false,
+// in which case the world falls back to per-agent stepping. All five
+// built-in policies implement it over the arithmetic regular
+// topologies (torus/ring/hypercube/complete), with degree lookups
+// hoisted and the Policy.Step → Graph.Neighbor interface dispatch
+// devirtualized into arithmetic-only inner loops; irregular graphs and
+// worlds with per-agent policy overrides (SetPolicy) use the scalar
+// path.
+//
+// StepParallel distributes either path across a persistent worker pool
+// that is created lazily on first use and reused every round, so
+// steady-state parallel stepping starts no goroutines and allocates
+// nothing. With the index active, Step, StepParallel, and Count run at
+// zero allocations per round.
+package sim

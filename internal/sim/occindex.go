@@ -1,0 +1,168 @@
+package sim
+
+import "fmt"
+
+// OccupancyIndex selects the representation of the occupancy index
+// that serves Count/CountTagged/CountInGroup queries; see the package
+// documentation for the selection rule and maintenance strategy.
+type OccupancyIndex int
+
+const (
+	// OccAuto picks OccDense when the graph's node count is at most
+	// denseOccupancyMaxNodes, and OccSparse otherwise.
+	OccAuto OccupancyIndex = iota
+	// OccDense indexes occupancy with a flat []cell array of length
+	// NumNodes — O(1) untyped-array lookups, 8 bytes per node.
+	OccDense
+	// OccSparse indexes occupancy with an open-addressed hash table
+	// keyed by occupied node — memory proportional to the agent count,
+	// for graphs far larger than the population traverses.
+	OccSparse
+)
+
+// denseOccupancyMaxNodes is the OccAuto memory budget: up to 1<<22
+// cells of 8 bytes each (32 MiB) may be spent on the dense array.
+const denseOccupancyMaxNodes = 1 << 22
+
+// denseOccupancyForceLimit caps an explicit Config{Occupancy: OccDense}
+// request; beyond it the array itself would be unreasonably large
+// (1<<26 cells = 512 MiB).
+const denseOccupancyForceLimit = 1 << 26
+
+// occupancy is the per-round collision-count index. mode is resolved
+// to OccDense or OccSparse at construction; the backing storage for
+// the dense mode is allocated lazily by the first rebuild, so worlds
+// that never query counts pay nothing for it. group always holds the
+// per-(position, group) counts for grouped agents in either mode.
+type occupancy struct {
+	mode   OccupancyIndex
+	dense  []cell
+	sparse *occTable
+	group  map[groupKey]int32
+}
+
+// initOcc resolves and validates the index mode chosen by cfg.
+func (w *World) initOcc(mode OccupancyIndex, agents int) error {
+	nodes := w.graph.NumNodes()
+	switch mode {
+	case OccAuto:
+		if nodes <= denseOccupancyMaxNodes {
+			mode = OccDense
+		} else {
+			mode = OccSparse
+		}
+	case OccDense:
+		if nodes > denseOccupancyForceLimit {
+			return fmt.Errorf("sim: graph with %d nodes is too large for a dense occupancy index (limit %d)", nodes, int64(denseOccupancyForceLimit))
+		}
+	case OccSparse:
+	default:
+		return fmt.Errorf("sim: unknown occupancy index selector %d", mode)
+	}
+	w.occ.mode = mode
+	if mode == OccSparse {
+		w.occ.sparse = newOccTable(agents)
+	}
+	w.occ.group = make(map[groupKey]int32)
+	return nil
+}
+
+// rebuildOcc refreshes the occupancy index from scratch. It runs only
+// when the index is stale (initial placement); once built, stepping
+// maintains the index incrementally via applyMoves and the index never
+// goes stale again.
+func (w *World) rebuildOcc() {
+	if w.occ.mode == OccDense && w.occ.dense == nil {
+		w.occ.dense = make([]cell, w.graph.NumNodes())
+	}
+	if d := w.occ.dense; d != nil {
+		clear(d)
+		for i, p := range w.pos {
+			d[p].total++
+			if w.tagged[i] {
+				d[p].tagged++
+			}
+		}
+	} else {
+		t := w.occ.sparse
+		t.reset()
+		for i, p := range w.pos {
+			t.inc(p, w.tagged[i])
+		}
+	}
+	// Always clear the group index: stale entries must not survive
+	// the last member of a group being cleared.
+	clear(w.occ.group)
+	if len(w.numGroup) > 0 {
+		for i, p := range w.pos {
+			if g := w.groups[i]; g != 0 {
+				w.occ.group[groupKey{pos: p, group: g}]++
+			}
+		}
+	}
+	w.occDirty = false
+}
+
+// applyMoves updates the occupancy index with this round's movement:
+// for every agent whose position changed, decrement the cell it left
+// and increment the cell it entered. Cost is O(agents) arithmetic with
+// no rebuild, no clearing, and no steady-state allocation.
+func (w *World) applyMoves() {
+	anyGroups := len(w.numGroup) > 0
+	if d := w.occ.dense; d != nil {
+		for i, p := range w.pos {
+			q := w.prev[i]
+			if p == q {
+				continue
+			}
+			d[q].total--
+			d[p].total++
+			if w.tagged[i] {
+				d[q].tagged--
+				d[p].tagged++
+			}
+			if anyGroups {
+				if g := w.groups[i]; g != 0 {
+					w.moveGroup(q, p, g)
+				}
+			}
+		}
+		return
+	}
+	t := w.occ.sparse
+	for i, p := range w.pos {
+		q := w.prev[i]
+		if p == q {
+			continue
+		}
+		tag := w.tagged[i]
+		t.dec(q, tag)
+		t.inc(p, tag)
+		if anyGroups {
+			if g := w.groups[i]; g != 0 {
+				w.moveGroup(q, p, g)
+			}
+		}
+	}
+}
+
+// moveGroup shifts one member of group g from node q to node p in the
+// per-group index, deleting emptied entries.
+func (w *World) moveGroup(q, p int64, g int32) {
+	k := groupKey{pos: q, group: g}
+	if n := w.occ.group[k] - 1; n == 0 {
+		delete(w.occ.group, k)
+	} else {
+		w.occ.group[k] = n
+	}
+	w.occ.group[groupKey{pos: p, group: g}]++
+}
+
+// occCell returns the occupancy cell for node p from whichever
+// representation is active.
+func (w *World) occCell(p int64) cell {
+	if d := w.occ.dense; d != nil {
+		return d[p]
+	}
+	return w.occ.sparse.get(p)
+}

@@ -1,0 +1,165 @@
+package sim
+
+// occTable is the sparse occupancy representation: an open-addressed
+// hash table from node id to occupancy cell, sized once at world
+// construction. A Go map would work semantically, but its
+// delete/insert churn under incremental maintenance (every agent that
+// moves removes one key and inserts another, every round) both
+// allocates and costs more than the old full rebuild it was meant to
+// replace. This table uses linear probing with backward-shift deletion
+// (no tombstones), so the steady-state hot path performs zero
+// allocations and probe chains never degrade over time.
+//
+// Capacity invariant: the table holds at most one entry per agent
+// (cells are deleted the moment they empty), and capacity is fixed at
+// ≥ 4× the agent count, so the load factor never exceeds 1/4 and the
+// table never grows.
+type occTable struct {
+	slots []occSlot
+	mask  uint64
+	used  int
+}
+
+// occSlot is one table entry. key == emptyKey marks a free slot; node
+// ids are non-negative, so the sentinel can never collide.
+type occSlot struct {
+	key  int64
+	cell cell
+}
+
+const emptyKey = int64(-1)
+
+// newOccTable returns a table sized for the given agent count.
+func newOccTable(agents int) *occTable {
+	capacity := 8
+	for capacity < 4*agents && capacity < 1<<62 {
+		capacity <<= 1
+	}
+	t := &occTable{slots: make([]occSlot, capacity), mask: uint64(capacity) - 1}
+	t.reset()
+	return t
+}
+
+// reset empties the table.
+func (t *occTable) reset() {
+	for i := range t.slots {
+		t.slots[i] = occSlot{key: emptyKey}
+	}
+	t.used = 0
+}
+
+// home returns the preferred slot index for key p. The murmur3
+// finalizer spreads the sequential node ids a random walk produces.
+func (t *occTable) home(p int64) uint64 {
+	z := uint64(p)
+	z ^= z >> 33
+	z *= 0xff51afd7ed558ccd
+	z ^= z >> 33
+	z *= 0xc4ceb9fe1a85ec53
+	z ^= z >> 33
+	return z & t.mask
+}
+
+// get returns the cell for node p (zero if unoccupied).
+func (t *occTable) get(p int64) cell {
+	for i := t.home(p); ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.key == p {
+			return s.cell
+		}
+		if s.key == emptyKey {
+			return cell{}
+		}
+	}
+}
+
+// inc adds one agent (tagged or not) to node p's cell.
+func (t *occTable) inc(p int64, tagged bool) {
+	for i := t.home(p); ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.key == p {
+			s.cell.total++
+			if tagged {
+				s.cell.tagged++
+			}
+			return
+		}
+		if s.key == emptyKey {
+			if 4*(t.used+1) > len(t.slots) {
+				// Unreachable while the capacity invariant holds
+				// (entries ≤ agents ≤ capacity/4).
+				panic("sim: occupancy table overfull")
+			}
+			s.key = p
+			s.cell = cell{total: 1}
+			if tagged {
+				s.cell.tagged = 1
+			}
+			t.used++
+			return
+		}
+	}
+}
+
+// dec removes one agent (tagged or not) from node p's cell, deleting
+// the cell when it empties. The caller guarantees p is present.
+func (t *occTable) dec(p int64, tagged bool) {
+	for i := t.home(p); ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.key != p {
+			continue
+		}
+		s.cell.total--
+		if tagged {
+			s.cell.tagged--
+		}
+		if s.cell.total == 0 {
+			t.deleteAt(i)
+			t.used--
+		}
+		return
+	}
+}
+
+// addTag adjusts only the tagged counter of node p's cell by delta.
+// The caller guarantees p is present (an agent stands there).
+func (t *occTable) addTag(p int64, delta int32) {
+	for i := t.home(p); ; i = (i + 1) & t.mask {
+		if s := &t.slots[i]; s.key == p {
+			s.cell.tagged += delta
+			return
+		}
+	}
+}
+
+// deleteAt empties slot i and backward-shifts the following probe
+// chain so no tombstones are left behind (Knuth's linear-probing
+// deletion): every subsequent entry that is no longer reachable from
+// its home slot across the gap is moved into the gap.
+func (t *occTable) deleteAt(i uint64) {
+	for {
+		t.slots[i] = occSlot{key: emptyKey}
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			s := &t.slots[j]
+			if s.key == emptyKey {
+				return
+			}
+			h := t.home(s.key)
+			// Entries whose home lies cyclically in (i, j] are still
+			// reachable with the gap at i; anything else must shift.
+			var reachable bool
+			if i <= j {
+				reachable = h > i && h <= j
+			} else {
+				reachable = h > i || h <= j
+			}
+			if !reachable {
+				t.slots[i] = *s
+				i = j
+				break
+			}
+		}
+	}
+}

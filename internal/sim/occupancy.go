@@ -17,8 +17,15 @@ func (w *World) CountsAll() []int {
 		w.rebuildOcc()
 	}
 	out := make([]int, len(w.pos))
+	if d := w.occ.dense; d != nil {
+		for i, p := range w.pos {
+			out[i] = int(d[p].total) - 1
+		}
+		return out
+	}
+	t := w.occ.sparse
 	for i, p := range w.pos {
-		out[i] = int(w.occ[p].total) - 1
+		out[i] = int(t.get(p).total) - 1
 	}
 	return out
 }
@@ -39,7 +46,7 @@ func (w *World) CountsTaggedAll() []int {
 	}
 	out := make([]int, len(w.pos))
 	for i, p := range w.pos {
-		c := int(w.occ[p].tagged)
+		c := int(w.occCell(p).tagged)
 		if w.tagged[i] {
 			c--
 		}
@@ -66,7 +73,7 @@ func (w *World) CountsInGroupAll(group int) []int {
 	g := int32(group)
 	out := make([]int, len(w.pos))
 	for i, p := range w.pos {
-		c := int(w.occGroup[groupKey{pos: p, group: g}])
+		c := int(w.occ.group[groupKey{pos: p, group: g}])
 		if w.groups[i] == g {
 			c--
 		}

@@ -1,23 +1,17 @@
-// Package sim implements the paper's computational model (Section 2):
-// a population of anonymous agents placed on a graph, proceeding in
-// discrete synchronous rounds. In each round every agent takes a step
-// according to its movement policy, and can then sense the number of
-// other agents at its position via count(position), the model's only
-// communication primitive.
-//
-// The engine is deterministic: every agent draws from a private
-// rng.Stream split from the world seed, so simulations are
-// reproducible regardless of scheduling.
 package sim
 
 import (
 	"fmt"
+	"math"
 
 	"antdensity/internal/rng"
 	"antdensity/internal/topology"
 )
 
 // Policy determines how an agent moves in each round.
+//
+// Policies that can advance many agents at once additionally implement
+// BulkStepper; see bulk.go for the contract.
 type Policy interface {
 	// Step returns the agent's next position given its current
 	// position on g, drawing randomness from s.
@@ -80,7 +74,8 @@ func (l Lazy) Step(g topology.Graph, pos int64, s *rng.Stream) int64 {
 // topologies.
 type Biased struct {
 	// Weights[i] is the relative probability of stepping to neighbor
-	// index i. All weights must be non-negative with a positive sum.
+	// index i. All weights must be finite and non-negative with a
+	// positive sum.
 	Weights []float64
 
 	cumulative []float64
@@ -88,14 +83,16 @@ type Biased struct {
 }
 
 // NewBiased returns a Biased policy with precomputed cumulative
-// weights. It returns an error if no weight is positive or any weight
-// is negative.
+// weights. It returns an error if any weight is negative, NaN, or
+// infinite, or if no weight is positive — a NaN or infinite weight
+// would otherwise poison the cumulative total and make Step degenerate
+// to a constant direction.
 func NewBiased(weights []float64) (*Biased, error) {
 	cum := make([]float64, len(weights))
 	total := 0.0
 	for i, w := range weights {
-		if w < 0 {
-			return nil, fmt.Errorf("sim: negative step weight %v at index %d", w, i)
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("sim: step weight %v at index %d is not a finite non-negative number", w, i)
 		}
 		total += w
 		cum[i] = total
@@ -106,13 +103,20 @@ func NewBiased(weights []float64) (*Biased, error) {
 	return &Biased{Weights: weights, cumulative: cum, total: total}, nil
 }
 
-// Step samples a neighbor index proportionally to Weights.
-func (b *Biased) Step(g topology.Graph, pos int64, s *rng.Stream) int64 {
+// sample draws a neighbor index proportionally to the weights. Both
+// the scalar Step and the bulk StepMany go through it, so the two
+// paths consume identical randomness.
+func (b *Biased) sample(s *rng.Stream) int {
 	x := s.Float64() * b.total
 	for i, c := range b.cumulative {
 		if x < c {
-			return g.Neighbor(pos, i)
+			return i
 		}
 	}
-	return g.Neighbor(pos, len(b.cumulative)-1)
+	return len(b.cumulative) - 1
+}
+
+// Step samples a neighbor index proportionally to Weights.
+func (b *Biased) Step(g topology.Graph, pos int64, s *rng.Stream) int64 {
+	return g.Neighbor(pos, b.sample(s))
 }

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// stepPool is a persistent set of worker goroutines that StepParallel
+// reuses every round, instead of spawning goroutines and a channel per
+// call. The pool is created lazily on the first StepParallel and
+// resized only when the requested worker count changes; steady-state
+// rounds perform two channel operations per worker and allocate
+// nothing.
+//
+// Workers hold a reference to the pool but never to a World between
+// rounds (the job is cleared after each round), so an abandoned World
+// stays collectible; a GC cleanup then stops the pool's goroutines.
+// Close stops them promptly.
+type stepPool struct {
+	signal []chan struct{} // one buffered wake-up channel per worker
+	done   chan struct{}   // completion tokens, capacity len(signal)
+	job    stepJob         // current round's work; valid only mid-round
+	once   sync.Once       // guards channel close in stop
+}
+
+// stepJob describes one round of work. Chunk boundaries are a pure
+// function of (chunk, n, worker id), so the agent-to-worker assignment
+// is deterministic — not that it matters for output: every agent owns
+// a private rng stream, so any assignment yields identical bytes.
+type stepJob struct {
+	w     *World
+	chunk int
+	n     int
+}
+
+func newStepPool(workers int) *stepPool {
+	p := &stepPool{
+		signal: make([]chan struct{}, workers),
+		done:   make(chan struct{}, workers),
+	}
+	for g := range p.signal {
+		ch := make(chan struct{}, 1)
+		p.signal[g] = ch
+		go p.work(g, ch)
+	}
+	return p
+}
+
+func (p *stepPool) workers() int { return len(p.signal) }
+
+// work is one worker's loop: wake, step the assigned chunk, report.
+func (p *stepPool) work(g int, signal <-chan struct{}) {
+	for range signal {
+		j := p.job
+		lo := g * j.chunk
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		if lo < hi {
+			j.w.stepRange(lo, hi)
+		}
+		p.done <- struct{}{}
+	}
+}
+
+// step runs one synchronous round across all workers and blocks until
+// every chunk is done. The world reference is cleared before returning
+// so an idle pool keeps nothing alive but itself.
+func (p *stepPool) step(w *World) {
+	k := len(p.signal)
+	p.job = stepJob{w: w, chunk: (len(w.pos) + k - 1) / k, n: len(w.pos)}
+	for _, ch := range p.signal {
+		ch <- struct{}{}
+	}
+	for range p.signal {
+		<-p.done
+	}
+	p.job = stepJob{}
+}
+
+// stop terminates the pool's goroutines. Idempotent.
+func (p *stepPool) stop() {
+	p.once.Do(func() {
+		for _, ch := range p.signal {
+			close(ch)
+		}
+	})
+}
+
+// ensurePool returns a pool with exactly the requested worker count,
+// creating or replacing the world's pool as needed.
+func (w *World) ensurePool(workers int) *stepPool {
+	if w.pool != nil && w.pool.workers() == workers {
+		return w.pool
+	}
+	if w.pool != nil {
+		w.pool.stop()
+	}
+	p := newStepPool(workers)
+	w.pool = p
+	// Stop the goroutines when the world is garbage collected; the
+	// cleanup must reference only the pool, never w.
+	runtime.AddCleanup(w, func(p *stepPool) { p.stop() }, p)
+	return p
+}
+
+// Close stops the world's persistent worker pool, if one was created
+// by StepParallel. It is optional — an unreachable World's pool is
+// stopped by a GC cleanup — but releases the goroutines promptly. The
+// world remains usable; a later StepParallel creates a fresh pool.
+func (w *World) Close() {
+	if w.pool != nil {
+		w.pool.stop()
+		w.pool = nil
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is active; allocation
+// regression tests skip under it because instrumentation allocates.
+const raceEnabled = false

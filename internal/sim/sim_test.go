@@ -227,6 +227,17 @@ func TestNewBiasedValidation(t *testing.T) {
 	if _, err := NewBiased([]float64{0, 0}); err == nil {
 		t.Error("zero-sum weights accepted")
 	}
+	// NaN/Inf weights used to poison the cumulative total and make
+	// Step return the last neighbor forever; they must be rejected.
+	if _, err := NewBiased([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := NewBiased([]float64{1, math.Inf(1)}); err == nil {
+		t.Error("+Inf weight accepted")
+	}
+	if _, err := NewBiased([]float64{math.Inf(-1), 1}); err == nil {
+		t.Error("-Inf weight accepted")
+	}
 }
 
 func TestClusteredPlacement(t *testing.T) {
@@ -245,6 +256,33 @@ func TestClusteredPlacement(t *testing.T) {
 		}()
 		ClusteredPlacement(0)
 	}()
+}
+
+func TestClusteredPlacementAcrossGraphs(t *testing.T) {
+	// The span memoization is per graph: one Placement value reused
+	// on differently sized graphs must recompute the slab each time.
+	p := ClusteredPlacement(0.1)
+	small := topology.MustTorus(2, 10)  // span 10
+	large := topology.MustTorus(2, 100) // span 1000
+	w1 := MustWorld(Config{Graph: small, NumAgents: 100, Seed: 3, Placement: p})
+	for i := 0; i < w1.NumAgents(); i++ {
+		if w1.Pos(i) >= 10 {
+			t.Fatalf("small graph: agent %d at %d, want < 10", i, w1.Pos(i))
+		}
+	}
+	w2 := MustWorld(Config{Graph: large, NumAgents: 100, Seed: 3, Placement: p})
+	for i := 0; i < w2.NumAgents(); i++ {
+		if w2.Pos(i) >= 1000 {
+			t.Fatalf("large graph: agent %d at %d, want < 1000", i, w2.Pos(i))
+		}
+	}
+	// A tiny fraction still yields a valid one-node slab.
+	w3 := MustWorld(Config{Graph: small, NumAgents: 5, Seed: 3, Placement: ClusteredPlacement(0.0001)})
+	for i := 0; i < w3.NumAgents(); i++ {
+		if w3.Pos(i) != 0 {
+			t.Fatalf("sub-node fraction: agent %d at %d, want 0", i, w3.Pos(i))
+		}
+	}
 }
 
 func TestUniformPlacementCoversGraph(t *testing.T) {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"antdensity/internal/rng"
 	"antdensity/internal/topology"
@@ -23,16 +24,30 @@ func UniformPlacement(_ int, g topology.Graph, s *rng.Stream) int64 {
 // positions to the fraction frac of the node space [0, frac*A). On a
 // torus this is a contiguous slab, modeling the "many agents
 // concentrated in a small area" scenario of Section 6.1.
+//
+// The returned Placement memoizes the slab width per graph (behind an
+// atomic pointer, so sharing it across concurrently constructed worlds
+// is safe); the per-agent path is a single bounded draw.
 func ClusteredPlacement(frac float64) Placement {
 	if frac <= 0 || frac > 1 {
 		panic(fmt.Sprintf("sim: cluster fraction %v outside (0, 1]", frac))
 	}
+	type slab struct {
+		g    topology.Graph
+		span uint64
+	}
+	var cached atomic.Pointer[slab]
 	return func(_ int, g topology.Graph, s *rng.Stream) int64 {
-		span := int64(frac * float64(g.NumNodes()))
-		if span < 1 {
-			span = 1
+		c := cached.Load()
+		if c == nil || c.g != g {
+			span := int64(frac * float64(g.NumNodes()))
+			if span < 1 {
+				span = 1
+			}
+			c = &slab{g: g, span: uint64(span)}
+			cached.Store(c)
 		}
-		return int64(s.Uint64n(uint64(span)))
+		return int64(s.Uint64n(c.span))
 	}
 }
 
@@ -57,24 +72,32 @@ type Config struct {
 	// RandomWalk. Individual agents can be overridden with
 	// World.SetPolicy.
 	Policy Policy
+	// Occupancy selects the occupancy-index representation; the zero
+	// value OccAuto picks the dense array when the graph fits the
+	// memory budget and the sparse map otherwise. Both give identical
+	// results; see the package documentation.
+	Occupancy OccupancyIndex
 }
 
 // World is a synchronous multi-agent simulation. It tracks agent
 // positions, steps all agents once per round, and serves the model's
-// count(position) collision queries from a per-round occupancy index.
+// count(position) collision queries from an incrementally maintained
+// occupancy index.
 type World struct {
 	graph    topology.Graph
 	policies []Policy
+	uniform  Policy // shared policy when no SetPolicy override exists; enables bulk stepping
 	pos      []int64
+	prev     []int64 // previous round's positions, for incremental occupancy updates
 	tagged   []bool
 	groups   []int32
-	streams  []*rng.Stream
-	occ      map[int64]cell
-	occGroup map[groupKey]int32
+	streams  []rng.Stream
+	occ      occupancy
 	occDirty bool
 	round    int
 	numTag   int
 	numGroup map[int32]int
+	pool     *stepPool
 }
 
 type cell struct {
@@ -111,18 +134,21 @@ func NewWorld(cfg Config) (*World, error) {
 	w := &World{
 		graph:    cfg.Graph,
 		policies: make([]Policy, cfg.NumAgents),
+		uniform:  policy,
 		pos:      make([]int64, cfg.NumAgents),
+		prev:     make([]int64, cfg.NumAgents),
 		tagged:   make([]bool, cfg.NumAgents),
 		groups:   make([]int32, cfg.NumAgents),
-		streams:  make([]*rng.Stream, cfg.NumAgents),
-		occ:      make(map[int64]cell, cfg.NumAgents),
-		occGroup: make(map[groupKey]int32),
+		streams:  make([]rng.Stream, cfg.NumAgents),
 		numGroup: make(map[int32]int),
+	}
+	if err := w.initOcc(cfg.Occupancy, cfg.NumAgents); err != nil {
+		return nil, err
 	}
 	for i := 0; i < cfg.NumAgents; i++ {
 		w.policies[i] = policy
-		w.streams[i] = root.Split(uint64(i))
-		w.pos[i] = placement(i, cfg.Graph, w.streams[i])
+		w.streams[i] = root.SplitValue(uint64(i))
+		w.pos[i] = placement(i, cfg.Graph, &w.streams[i])
 		if w.pos[i] < 0 || w.pos[i] >= cfg.Graph.NumNodes() {
 			return nil, fmt.Errorf("sim: placement put agent %d at %d, outside [0, %d)", i, w.pos[i], cfg.Graph.NumNodes())
 		}
@@ -153,20 +179,36 @@ func (w *World) Round() int { return w.round }
 // Pos returns the current position of agent i.
 func (w *World) Pos(i int) int64 { return w.pos[i] }
 
-// SetPolicy overrides the movement policy of agent i.
-func (w *World) SetPolicy(i int, p Policy) { w.policies[i] = p }
+// SetPolicy overrides the movement policy of agent i. A world with any
+// override steps agents one at a time; uniform worlds use the
+// BulkStepper fast path when the policy and topology support it.
+func (w *World) SetPolicy(i int, p Policy) {
+	w.policies[i] = p
+	w.uniform = nil
+}
 
 // SetTagged marks agent i as carrying the property of interest
 // (Section 5.2). Tagged counts are served by CountTagged.
 func (w *World) SetTagged(i int, tagged bool) {
-	if w.tagged[i] != tagged {
-		w.tagged[i] = tagged
-		if tagged {
-			w.numTag++
-		} else {
-			w.numTag--
-		}
-		w.occDirty = true
+	if w.tagged[i] == tagged {
+		return
+	}
+	w.tagged[i] = tagged
+	delta := 1
+	if !tagged {
+		delta = -1
+	}
+	w.numTag += delta
+	if w.occDirty {
+		return
+	}
+	// The index is live: patch the agent's current cell in place
+	// instead of invalidating everything.
+	p := w.pos[i]
+	if d := w.occ.dense; d != nil {
+		d[p].tagged += int32(delta)
+	} else {
+		w.occ.sparse.addTag(p, int32(delta))
 	}
 }
 
@@ -193,72 +235,63 @@ func (w *World) TaggedDensityFor(i int) float64 {
 	return float64(n) / float64(w.graph.NumNodes())
 }
 
+// stepRange advances agents [lo, hi) one round. Uniform-policy worlds
+// try the BulkStepper fast path first and otherwise run a scalar loop
+// with the policy hoisted; worlds with per-agent overrides dispatch
+// per agent.
+func (w *World) stepRange(lo, hi int) {
+	if p := w.uniform; p != nil {
+		if b, ok := p.(BulkStepper); ok && b.StepMany(w.graph, w.pos[lo:hi], w.streams[lo:hi]) {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			w.pos[i] = p.Step(w.graph, w.pos[i], &w.streams[i])
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		w.pos[i] = w.policies[i].Step(w.graph, w.pos[i], &w.streams[i])
+	}
+}
+
 // Step advances the simulation one synchronous round: every agent
 // moves once according to its policy. Collision queries after Step
 // reflect the new positions, per the model's "collide in round r if
-// they have the same position at the end of the round".
+// they have the same position at the end of the round". If the
+// occupancy index is live it is updated incrementally; worlds that
+// never query counts pay nothing for it.
 func (w *World) Step() {
-	for i := range w.pos {
-		w.pos[i] = w.policies[i].Step(w.graph, w.pos[i], w.streams[i])
+	track := !w.occDirty
+	if track {
+		copy(w.prev, w.pos)
 	}
+	w.stepRange(0, len(w.pos))
 	w.round++
-	w.occDirty = true
+	if track {
+		w.applyMoves()
+	}
 }
 
-// StepParallel advances one round using the given number of
-// goroutines. Because every agent steps from its own private stream,
-// the result is bit-identical to Step regardless of workers; use it
-// for worlds with hundreds of thousands of agents. workers < 2 falls
-// back to the serial path.
+// StepParallel advances one round using the given number of worker
+// goroutines from the world's persistent pool (created on first use,
+// reused every round). Because every agent steps from its own private
+// stream, the result is bit-identical to Step regardless of workers;
+// use it for worlds with hundreds of thousands of agents. workers < 2
+// falls back to the serial path.
 func (w *World) StepParallel(workers int) {
 	if workers < 2 || len(w.pos) < 2*workers {
 		w.Step()
 		return
 	}
-	chunk := (len(w.pos) + workers - 1) / workers
-	done := make(chan struct{}, workers)
-	for g := 0; g < workers; g++ {
-		lo := g * chunk
-		hi := lo + chunk
-		if hi > len(w.pos) {
-			hi = len(w.pos)
-		}
-		go func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				w.pos[i] = w.policies[i].Step(w.graph, w.pos[i], w.streams[i])
-			}
-			done <- struct{}{}
-		}(lo, hi)
+	track := !w.occDirty
+	if track {
+		copy(w.prev, w.pos)
 	}
-	for g := 0; g < workers; g++ {
-		<-done
-	}
+	w.ensurePool(workers).step(w)
 	w.round++
-	w.occDirty = true
-}
-
-// rebuildOcc refreshes the occupancy indexes.
-func (w *World) rebuildOcc() {
-	clear(w.occ)
-	for i, p := range w.pos {
-		c := w.occ[p]
-		c.total++
-		if w.tagged[i] {
-			c.tagged++
-		}
-		w.occ[p] = c
+	if track {
+		w.applyMoves()
 	}
-	// Always clear the group index: stale entries must not survive
-	// the last member of a group being cleared.
-	clear(w.occGroup)
-	if len(w.numGroup) > 0 {
-		for i, p := range w.pos {
-			if g := w.groups[i]; g != 0 {
-				w.occGroup[groupKey{pos: p, group: g}]++
-			}
-		}
-	}
-	w.occDirty = false
 }
 
 // SetGroup assigns agent i to a group. Group 0 is the default
@@ -285,7 +318,22 @@ func (w *World) SetGroup(i int, group int) {
 		w.numGroup[g]++
 	}
 	w.groups[i] = g
-	w.occDirty = true
+	if w.occDirty {
+		return
+	}
+	// Patch the live per-group index at the agent's current position.
+	p := w.pos[i]
+	if old != 0 {
+		k := groupKey{pos: p, group: old}
+		if n := w.occ.group[k] - 1; n == 0 {
+			delete(w.occ.group, k)
+		} else {
+			w.occ.group[k] = n
+		}
+	}
+	if g != 0 {
+		w.occ.group[groupKey{pos: p, group: g}]++
+	}
 }
 
 // Group returns agent i's group (0 if unassigned).
@@ -304,7 +352,7 @@ func (w *World) CountInGroup(i, group int) int {
 	if w.occDirty {
 		w.rebuildOcc()
 	}
-	c := int(w.occGroup[groupKey{pos: w.pos[i], group: int32(group)}])
+	c := int(w.occ.group[groupKey{pos: w.pos[i], group: int32(group)}])
 	if int(w.groups[i]) == group {
 		c--
 	}
@@ -327,7 +375,10 @@ func (w *World) Count(i int) int {
 	if w.occDirty {
 		w.rebuildOcc()
 	}
-	return int(w.occ[w.pos[i]].total) - 1
+	if d := w.occ.dense; d != nil {
+		return int(d[w.pos[i]].total) - 1
+	}
+	return int(w.occ.sparse.get(w.pos[i]).total) - 1
 }
 
 // CountTagged returns the number of other *tagged* agents at agent i's
@@ -338,7 +389,7 @@ func (w *World) CountTagged(i int) int {
 	if w.occDirty {
 		w.rebuildOcc()
 	}
-	c := int(w.occ[w.pos[i]].tagged)
+	c := int(w.occCell(w.pos[i]).tagged)
 	if w.tagged[i] {
 		c--
 	}

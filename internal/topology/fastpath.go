@@ -1,0 +1,153 @@
+package topology
+
+import "antdensity/internal/rng"
+
+// This file holds the devirtualized fast-path kernels for the regular
+// topologies. The generic Graph interface costs two or three indirect
+// calls plus node validation per random-walk step; the kernels below
+// let hot loops (internal/sim's BulkStepper policies, Walk/WalkPath,
+// and internal/walk's Monte Carlo estimators) run arithmetic-only
+// inner loops on concrete torus/ring/hypercube/complete types.
+//
+// Every kernel is bit-compatible with the generic path: it consumes
+// exactly the same draws from the same streams, in the same order, as
+// Degree/Neighbor-based stepping, so switching between the two can
+// never change a simulation's output.
+
+// NeighborUnchecked is Neighbor without node or index validation, for
+// hot paths whose positions and indices are maintained internally and
+// known to be valid. Out-of-range arguments yield unspecified results
+// or panics.
+func (t *Torus) NeighborUnchecked(v int64, i int) int64 {
+	return t.step(v, i>>1, 1-int64(i&1)<<1)
+}
+
+// NeighborUnchecked is Neighbor without node or index validation; see
+// (*Torus).NeighborUnchecked.
+func (h *Hypercube) NeighborUnchecked(v int64, i int) int64 {
+	return v ^ (1 << uint(i))
+}
+
+// NeighborUnchecked is Neighbor without node or index validation; see
+// (*Torus).NeighborUnchecked.
+func (c *Complete) NeighborUnchecked(v int64, i int) int64 {
+	if int64(i) < v {
+		return int64(i)
+	}
+	return int64(i) + 1
+}
+
+// RandomSteps advances pos[k] by one uniformly random step drawing
+// from streams[k], for every k — the bulk twin of RandomStep with the
+// degree hoisted and neighbor arithmetic inlined.
+func (t *Torus) RandomSteps(pos []int64, streams []rng.Stream) {
+	deg := 2 * t.dims
+	for k := range pos {
+		i := streams[k].Intn(deg)
+		pos[k] = t.step(pos[k], i>>1, 1-int64(i&1)<<1)
+	}
+}
+
+// RandomSteps advances pos[k] by one uniformly random step drawing
+// from streams[k], for every k; see (*Torus).RandomSteps.
+func (h *Hypercube) RandomSteps(pos []int64, streams []rng.Stream) {
+	bits := h.bits
+	for k := range pos {
+		pos[k] ^= 1 << uint(streams[k].Intn(bits))
+	}
+}
+
+// RandomSteps advances pos[k] by one uniformly random step drawing
+// from streams[k], for every k; see (*Torus).RandomSteps.
+func (c *Complete) RandomSteps(pos []int64, streams []rng.Stream) {
+	deg := int(c.nodes - 1)
+	for k := range pos {
+		j := int64(streams[k].Intn(deg))
+		if j >= pos[k] {
+			j++
+		}
+		pos[k] = j
+	}
+}
+
+// ShiftSteps moves every pos[k] to its dir-th neighbor — the bulk twin
+// of a fixed-direction Neighbor sweep, validating dir once instead of
+// per agent. It consumes no randomness.
+func (t *Torus) ShiftSteps(pos []int64, dir int) {
+	if dir < 0 || dir >= 2*t.dims {
+		validateNeighborIndex(t, dir)
+	}
+	dim, delta := dir>>1, 1-int64(dir&1)<<1
+	for k := range pos {
+		pos[k] = t.step(pos[k], dim, delta)
+	}
+}
+
+// ShiftSteps moves every pos[k] to its dir-th neighbor; see
+// (*Torus).ShiftSteps.
+func (h *Hypercube) ShiftSteps(pos []int64, dir int) {
+	if dir < 0 || dir >= h.bits {
+		validateNeighborIndex(h, dir)
+	}
+	bit := int64(1) << uint(dir)
+	for k := range pos {
+		pos[k] ^= bit
+	}
+}
+
+// ShiftSteps moves every pos[k] to its dir-th neighbor; see
+// (*Torus).ShiftSteps.
+func (c *Complete) ShiftSteps(pos []int64, dir int) {
+	if dir < 0 || int64(dir) >= c.nodes-1 {
+		validateNeighborIndex(c, dir)
+	}
+	for k := range pos {
+		pos[k] = c.NeighborUnchecked(pos[k], dir)
+	}
+}
+
+// validateNeighborIndex reproduces the panic a Neighbor call with an
+// out-of-range index would raise, by issuing that call on node 0.
+func validateNeighborIndex(g Graph, i int) {
+	g.Neighbor(0, i)
+	panic("topology: validateNeighborIndex called with a valid index")
+}
+
+// Stepper returns a uniform-random-step function for g with the
+// Degree/Neighbor dispatch hoisted out: for the regular arithmetic
+// topologies the returned closure calls the devirtualized kernels
+// above, and for every other graph it falls back to RandomStep. The
+// closure draws exactly the same stream values as RandomStep, so the
+// two are interchangeable bit for bit. Like the kernels, the closure
+// skips per-step node validation — callers starting from externally
+// supplied nodes should check them once with ValidateNode. It is not
+// safe for concurrent use with shared streams (streams themselves are
+// not).
+func Stepper(g Graph) func(v int64, s *rng.Stream) int64 {
+	switch t := g.(type) {
+	case *Torus:
+		deg := 2 * t.dims
+		return func(v int64, s *rng.Stream) int64 {
+			i := s.Intn(deg)
+			return t.step(v, i>>1, 1-int64(i&1)<<1)
+		}
+	case *Hypercube:
+		bits := t.bits
+		return func(v int64, s *rng.Stream) int64 {
+			return v ^ 1<<uint(s.Intn(bits))
+		}
+	case *Complete:
+		deg := int(t.nodes - 1)
+		return func(v int64, s *rng.Stream) int64 {
+			j := int64(s.Intn(deg))
+			if j >= v {
+				j++
+			}
+			return j
+		}
+	default:
+		return func(v int64, s *rng.Stream) int64 {
+			return RandomStep(g, v, s)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package topology
+
+import (
+	"testing"
+
+	"antdensity/internal/rng"
+)
+
+// regularFastGraphs are the topologies with arithmetic fast-path
+// kernels, paired with generic-interface twins for equivalence checks.
+func regularFastGraphs(t *testing.T) []Regular {
+	t.Helper()
+	ring, err := NewRing(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Regular{MustTorus(2, 9), MustTorus(3, 4), ring, MustHypercube(7), MustComplete(23)}
+}
+
+func TestNeighborUncheckedMatchesNeighbor(t *testing.T) {
+	for _, g := range regularFastGraphs(t) {
+		deg := g.CommonDegree()
+		for v := int64(0); v < g.NumNodes(); v++ {
+			for i := 0; i < deg; i++ {
+				want := g.Neighbor(v, i)
+				var got int64
+				switch c := g.(type) {
+				case *Torus:
+					got = c.NeighborUnchecked(v, i)
+				case *Hypercube:
+					got = c.NeighborUnchecked(v, i)
+				case *Complete:
+					got = c.NeighborUnchecked(v, i)
+				}
+				if got != want {
+					t.Fatalf("%T: NeighborUnchecked(%d, %d) = %d, Neighbor = %d", g, v, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomStepsMatchesRandomStep(t *testing.T) {
+	for _, g := range regularFastGraphs(t) {
+		const agents = 64
+		root := rng.New(31)
+		bulkStreams := make([]rng.Stream, agents)
+		scalarStreams := make([]*rng.Stream, agents)
+		pos := make([]int64, agents)
+		ref := make([]int64, agents)
+		for i := range pos {
+			bulkStreams[i] = root.SplitValue(uint64(i))
+			scalarStreams[i] = root.Split(uint64(i))
+			pos[i] = int64(i) % g.NumNodes()
+			ref[i] = pos[i]
+		}
+		for round := 0; round < 20; round++ {
+			switch c := g.(type) {
+			case *Torus:
+				c.RandomSteps(pos, bulkStreams)
+			case *Hypercube:
+				c.RandomSteps(pos, bulkStreams)
+			case *Complete:
+				c.RandomSteps(pos, bulkStreams)
+			}
+			for i := range ref {
+				ref[i] = RandomStep(g, ref[i], scalarStreams[i])
+			}
+			for i := range ref {
+				if pos[i] != ref[i] {
+					t.Fatalf("%T round %d agent %d: bulk %d, scalar %d", g, round, i, pos[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestShiftStepsMatchesNeighbor(t *testing.T) {
+	for _, g := range regularFastGraphs(t) {
+		deg := g.CommonDegree()
+		for dir := 0; dir < deg; dir++ {
+			pos := make([]int64, g.NumNodes())
+			for v := range pos {
+				pos[v] = int64(v)
+			}
+			switch c := g.(type) {
+			case *Torus:
+				c.ShiftSteps(pos, dir)
+			case *Hypercube:
+				c.ShiftSteps(pos, dir)
+			case *Complete:
+				c.ShiftSteps(pos, dir)
+			}
+			for v := range pos {
+				if want := g.Neighbor(int64(v), dir); pos[v] != want {
+					t.Fatalf("%T dir %d node %d: ShiftSteps %d, Neighbor %d", g, dir, v, pos[v], want)
+				}
+			}
+		}
+	}
+}
+
+func TestShiftStepsPanicsLikeNeighbor(t *testing.T) {
+	h := MustHypercube(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("ShiftSteps with an out-of-range direction did not panic")
+		}
+	}()
+	h.ShiftSteps([]int64{0}, 99)
+}
+
+func TestStepperMatchesRandomStep(t *testing.T) {
+	graphs := []Graph{MustTorus(2, 9), MustHypercube(7), MustComplete(23)}
+	// An adjacency graph exercises the generic fallback closure.
+	adj, err := NewAdj(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, adj)
+	for _, g := range graphs {
+		step := Stepper(g)
+		s1 := rng.New(41)
+		s2 := rng.New(41)
+		v1 := int64(0)
+		v2 := int64(0)
+		for i := 0; i < 200; i++ {
+			v1 = step(v1, s1)
+			v2 = RandomStep(g, v2, s2)
+			if v1 != v2 {
+				t.Fatalf("%T step %d: Stepper %d, RandomStep %d", g, i, v1, v2)
+			}
+		}
+	}
+}
+
+func TestWalkValidatesStartNode(t *testing.T) {
+	g := MustTorus(1, 10)
+	for name, f := range map[string]func(){
+		"Walk":         func() { Walk(g, 15, 3, rng.New(1)) },
+		"WalkPath":     func() { WalkPath(g, -1, 3, rng.New(1)) },
+		"ValidateNode": func() { ValidateNode(g, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with an out-of-range start did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

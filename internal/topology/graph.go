@@ -55,9 +55,32 @@ func RandomNode(g Graph, s *rng.Stream) int64 {
 }
 
 // Walk performs an m-step random walk from v and returns the endpoint.
+// The start node is validated once and the per-step dispatch is
+// devirtualized for the regular topologies, so the walk runs an
+// arithmetic-only, allocation-free inner loop; results are
+// bit-identical to m RandomStep calls.
 func Walk(g Graph, v int64, m int, s *rng.Stream) int64 {
-	for i := 0; i < m; i++ {
-		v = RandomStep(g, v, s)
+	validateNode(g, v)
+	switch t := g.(type) {
+	case *Torus:
+		deg := 2 * t.dims
+		for i := 0; i < m; i++ {
+			v = t.NeighborUnchecked(v, s.Intn(deg))
+		}
+	case *Hypercube:
+		bits := t.bits
+		for i := 0; i < m; i++ {
+			v = t.NeighborUnchecked(v, s.Intn(bits))
+		}
+	case *Complete:
+		deg := int(t.nodes - 1)
+		for i := 0; i < m; i++ {
+			v = t.NeighborUnchecked(v, s.Intn(deg))
+		}
+	default:
+		for i := 0; i < m; i++ {
+			v = RandomStep(g, v, s)
+		}
 	}
 	return v
 }
@@ -65,10 +88,12 @@ func Walk(g Graph, v int64, m int, s *rng.Stream) int64 {
 // WalkPath performs an m-step random walk from v and returns the full
 // path of m+1 positions, beginning with v.
 func WalkPath(g Graph, v int64, m int, s *rng.Stream) []int64 {
+	validateNode(g, v)
+	step := Stepper(g)
 	path := make([]int64, m+1)
 	path[0] = v
 	for i := 1; i <= m; i++ {
-		v = RandomStep(g, v, s)
+		v = step(v, s)
 		path[i] = v
 	}
 	return path
@@ -88,6 +113,12 @@ func NumEdges(g Graph) int64 {
 	}
 	return sum / 2
 }
+
+// ValidateNode panics if v is outside g's node range. Callers feeding
+// externally supplied start nodes into the devirtualized kernels
+// (Stepper, the bulk step methods), which skip per-step validation,
+// should validate once up front with it.
+func ValidateNode(g Graph, v int64) { validateNode(g, v) }
 
 // validateNode panics if v is outside g's node range. Topology
 // implementations use it to catch indexing bugs early in simulations.

@@ -5,7 +5,10 @@
 // equalization (return-to-origin) probabilities (Corollary 10), visit
 // and collision count moments (Lemma 11, Corollaries 15 and 16), and
 // endpoint distributions (Lemma 9). All estimates are Monte Carlo
-// over explicit trials with deterministic seeds.
+// over explicit trials with deterministic seeds. Every walking loop
+// hoists its per-step dispatch through topology.Stepper, which is
+// bit-identical to topology.RandomStep but devirtualized for the
+// regular topologies.
 package walk
 
 import (
@@ -31,6 +34,8 @@ import (
 // walk returning to its origin.
 func RecollisionCurve(g topology.Graph, start int64, maxM, trials int, s *rng.Stream) []float64 {
 	validate(maxM, trials)
+	topology.ValidateNode(g, start)
+	step := topology.Stepper(g)
 	hits := make([]int, maxM+1)
 	for trial := 0; trial < trials; trial++ {
 		s1 := s.Split(uint64(2 * trial))
@@ -38,8 +43,8 @@ func RecollisionCurve(g topology.Graph, start int64, maxM, trials int, s *rng.St
 		p1, p2 := start, start
 		hits[0]++ // both walks begin at the collision node
 		for m := 1; m <= maxM; m++ {
-			p1 = topology.RandomStep(g, p1, s1)
-			p2 = topology.RandomStep(g, p2, s2)
+			p1 = step(p1, s1)
+			p2 = step(p2, s2)
 			if p1 == p2 {
 				hits[m]++
 			}
@@ -58,13 +63,15 @@ func RecollisionCurve(g topology.Graph, start int64, maxM, trials int, s *rng.St
 // on the 2-D torus, 0 for odd m).
 func EqualizationCurve(g topology.Graph, start int64, maxM, trials int, s *rng.Stream) []float64 {
 	validate(maxM, trials)
+	topology.ValidateNode(g, start)
+	step := topology.Stepper(g)
 	hits := make([]int, maxM+1)
 	for trial := 0; trial < trials; trial++ {
 		str := s.Split(uint64(trial))
 		p := start
 		hits[0]++
 		for m := 1; m <= maxM; m++ {
-			p = topology.RandomStep(g, p, str)
+			p = step(p, str)
 			if p == start {
 				hits[m]++
 			}
@@ -96,6 +103,7 @@ func SumCurve(curve []float64) []float64 {
 // bounds by k! w^k log^k(2t).
 func EqualizationCounts(g topology.Graph, t, trials int, s *rng.Stream) []float64 {
 	validate(t, trials)
+	step := topology.Stepper(g)
 	out := make([]float64, trials)
 	for trial := 0; trial < trials; trial++ {
 		str := s.Split(uint64(trial))
@@ -103,7 +111,7 @@ func EqualizationCounts(g topology.Graph, t, trials int, s *rng.Stream) []float6
 		p := start
 		count := 0
 		for m := 1; m <= t; m++ {
-			p = topology.RandomStep(g, p, str)
+			p = step(p, str)
 			if p == start {
 				count++
 			}
@@ -120,6 +128,7 @@ func EqualizationCounts(g topology.Graph, t, trials int, s *rng.Stream) []float6
 // (t w^k / A) k! log^k(2t).
 func PairCollisionCounts(g topology.Graph, t, trials int, s *rng.Stream) []float64 {
 	validate(t, trials)
+	step := topology.Stepper(g)
 	out := make([]float64, trials)
 	for trial := 0; trial < trials; trial++ {
 		s1 := s.Split(uint64(2 * trial))
@@ -128,8 +137,8 @@ func PairCollisionCounts(g topology.Graph, t, trials int, s *rng.Stream) []float
 		p2 := topology.RandomNode(g, s2)
 		count := 0
 		for m := 1; m <= t; m++ {
-			p1 = topology.RandomStep(g, p1, s1)
-			p2 = topology.RandomStep(g, p2, s2)
+			p1 = step(p1, s1)
+			p2 = step(p2, s2)
 			if p1 == p2 {
 				count++
 			}
@@ -144,13 +153,14 @@ func PairCollisionCounts(g topology.Graph, t, trials int, s *rng.Stream) []float
 // at the fixed node target — the visit count of Corollary 15.
 func VisitCounts(g topology.Graph, target int64, t, trials int, s *rng.Stream) []float64 {
 	validate(t, trials)
+	step := topology.Stepper(g)
 	out := make([]float64, trials)
 	for trial := 0; trial < trials; trial++ {
 		str := s.Split(uint64(trial))
 		p := topology.RandomNode(g, str)
 		count := 0
 		for m := 1; m <= t; m++ {
-			p = topology.RandomStep(g, p, str)
+			p = step(p, str)
 			if p == target {
 				count++
 			}
@@ -200,13 +210,14 @@ func FirstCollisionRound(g topology.Graph, t int, s *rng.Stream) int {
 	if t < 1 {
 		panic(fmt.Sprintf("walk: t must be >= 1, got %d", t))
 	}
+	step := topology.Stepper(g)
 	s1 := s.Split(0)
 	s2 := s.Split(1)
 	p1 := topology.RandomNode(g, s1)
 	p2 := topology.RandomNode(g, s2)
 	for m := 1; m <= t; m++ {
-		p1 = topology.RandomStep(g, p1, s1)
-		p2 = topology.RandomStep(g, p2, s2)
+		p1 = step(p1, s1)
+		p2 = step(p2, s2)
 		if p1 == p2 {
 			return m
 		}
