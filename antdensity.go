@@ -129,6 +129,20 @@ func QuorumDecide(w *World, threshold float64, t int) ([]bool, error) {
 	return quorum.Decide(w, threshold, t)
 }
 
+// QuorumAnytimeResult is the output of QuorumDecideAdaptive: per-agent
+// decisions and stopping rounds.
+type QuorumAnytimeResult = quorum.AnytimeResult
+
+// QuorumDecideAdaptive is the anytime counterpart of QuorumDecide:
+// every agent runs its own confidence band (with Theorem 1 constant
+// c1; see NewStreamingEstimator) and stops as soon as the band clears
+// the threshold in either direction, up to maxRounds (Section 6.2's
+// early-exit usage). The simulation stops stepping once all agents
+// have decided.
+func QuorumDecideAdaptive(w *World, threshold, delta, c1 float64, maxRounds int) (*QuorumAnytimeResult, error) {
+	return quorum.AnytimeDecide(w, threshold, delta, c1, maxRounds)
+}
+
 // NetworkSizeConfig configures EstimateNetworkSize.
 type NetworkSizeConfig = netsize.Config
 

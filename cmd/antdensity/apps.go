@@ -10,12 +10,16 @@ import (
 	"antdensity/internal/rng"
 	"antdensity/internal/sensors"
 	"antdensity/internal/sim"
+	"antdensity/internal/stats"
 	"antdensity/internal/tasks"
 	"antdensity/internal/topology"
 )
 
 // cmdQuorum runs a quorum-sensing decision: agents at the given
-// density vote on whether it exceeds the threshold.
+// density vote on whether it exceeds the threshold. With -adaptive,
+// each agent instead runs the anytime confidence-band detector and
+// stops as soon as its band clears the threshold (Section 6.2's
+// early-exit usage), reporting the stopping-time distribution.
 func cmdQuorum(args []string) error {
 	fs := flag.NewFlagSet("quorum", flag.ContinueOnError)
 	side := fs.Int64("side", 20, "torus side length")
@@ -24,6 +28,8 @@ func cmdQuorum(args []string) error {
 	eps := fs.Float64("eps", 0.25, "detection margin")
 	delta := fs.Float64("delta", 0.05, "failure probability")
 	seed := fs.Uint64("seed", 1, "random seed")
+	adaptive := fs.Bool("adaptive", false, "anytime mode: per-agent early stopping instead of the fixed theta-sized horizon")
+	maxRounds := fs.Int("max-rounds", 40000, "adaptive-mode round budget")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,13 +42,38 @@ func cmdQuorum(args []string) error {
 	if err != nil {
 		return err
 	}
+	tb := expfmt.NewTable("quantity", "value")
+	tb.AddRow("true density d", w.Density())
+	tb.AddRow("threshold theta", *threshold)
+	if *adaptive {
+		res, err := quorum.AnytimeDecide(w, *threshold, *delta, 0.6, *maxRounds)
+		if err != nil {
+			return err
+		}
+		votes := make([]bool, len(res.Decision))
+		undecided := 0
+		stops := make([]float64, len(res.StopRound))
+		for i, d := range res.Decision {
+			votes[i] = d == +1
+			if d == 0 {
+				undecided++
+			}
+			stops[i] = float64(res.StopRound[i])
+		}
+		tb.AddRow("mode", "adaptive (anytime bands)")
+		tb.AddRow("fixed-t horizon (theta-sized)", t)
+		tb.AddRow("rounds executed", res.Rounds)
+		tb.AddRow("mean stop round", stats.Mean(stops))
+		tb.AddRow("p90 stop round", stats.Quantile(stops, 0.9))
+		tb.AddRow("undecided agents", undecided)
+		tb.AddRow("fraction voting quorum", quorum.VoteFraction(votes))
+		tb.AddRow("majority verdict", quorum.MajorityVote(votes))
+		return tb.Render(os.Stdout)
+	}
 	votes, err := quorum.Decide(w, *threshold, t)
 	if err != nil {
 		return err
 	}
-	tb := expfmt.NewTable("quantity", "value")
-	tb.AddRow("true density d", w.Density())
-	tb.AddRow("threshold theta", *threshold)
 	tb.AddRow("detection rounds t (theta-sized)", t)
 	tb.AddRow("fraction voting quorum", quorum.VoteFraction(votes))
 	tb.AddRow("majority verdict", quorum.MajorityVote(votes))

@@ -9,6 +9,7 @@
 //	antdensity estimate [-dims K] [-side L] [-agents N] [-rounds T] [-seed N] [-cpuprofile F]
 //	antdensity netsize  [-graph ba|er|ws|torus3] [-nodes N] [-walkers W] [-steps T] [-seed N]
 //	antdensity walk     [-topo torus2d|ring|torus3d|hypercube] [-steps M] [-trials K] [-seed N]
+//	antdensity quorum   [-side L] [-agents N] [-threshold T] [-adaptive] [-max-rounds M] [-seed N]
 package main
 
 import (

@@ -131,6 +131,20 @@ func TestCmdQuorum(t *testing.T) {
 	}
 }
 
+func TestCmdQuorumAdaptive(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"quorum", "-adaptive", "-side", "15", "-agents", "91", "-threshold", "0.1", "-max-rounds", "5000"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mean stop round", "fixed-t horizon", "majority verdict"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("adaptive quorum output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCmdAllocate(t *testing.T) {
 	out, err := captureStdout(t, func() error {
 		return run([]string{"allocate", "-agents", "60", "-epochs", "3", "-rounds", "20"})

@@ -16,6 +16,18 @@
 //     arithmetic inner loops on regular topologies, and a persistent
 //     worker pool behind StepParallel — all proven bit-identical to
 //     the scalar reference paths by property tests.
+//
+// Estimation runs through sim's streaming observation pipeline: Run
+// advances the world round by round and hands every registered
+// Observer the whole round's counts via shared zero-allocation bulk
+// snapshots (CountsAllInto and friends). core's collision counting,
+// quorum's threshold detection, and netsize's degree-weighted
+// collision totals are all observers on this one loop, so each layer
+// inherits the sim layer's speed; observers can stop a run early
+// (Section 6.2's anytime usage) and retire individual agents through a
+// per-agent active mask, giving per-agent stopping times (experiment
+// E26, `antdensity quorum -adaptive`). Observer order never affects
+// results — see the sim package documentation for the contract.
 //   - internal/topology — tori, rings, hypercubes, complete graphs,
 //     random regular expanders, adjacency graphs, spectral tools, and
 //     the devirtualized fast-path step kernels used by sim and walk.

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"antdensity/internal/sim"
+	"antdensity/internal/topology"
+)
+
+// BenchmarkEstimationRound measures one full estimation round — a
+// synchronous world step plus every agent's count(position) reading —
+// at the paper-scale 100k agents on the 512x512 torus. The pipeline
+// variant is what CollisionCounts/Algorithm1 execute per round since
+// the streaming refactor (bulk snapshot into a reused buffer); the
+// scalar variant is the retired per-agent Count loop, kept as the
+// regression baseline. Results before/after the refactor are recorded
+// in BENCH_PR3.json.
+func BenchmarkEstimationRound(b *testing.B) {
+	newWorld := func(b *testing.B) *sim.World {
+		b.Helper()
+		w, err := sim.NewWorld(sim.Config{
+			Graph:     topology.MustTorus(2, 512),
+			NumAgents: 100_000,
+			Seed:      1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Count(0) // build the occupancy index once, outside the loop
+		return w
+	}
+
+	b.Run("pipeline", func(b *testing.B) {
+		w := newWorld(b)
+		buf := make([]int, w.NumAgents())
+		var sink int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Step()
+			for _, c := range w.CountsAllInto(buf) {
+				sink += int64(c)
+			}
+		}
+		_ = sink
+	})
+
+	b.Run("scalar", func(b *testing.B) {
+		w := newWorld(b)
+		n := w.NumAgents()
+		var sink int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Step()
+			for j := 0; j < n; j++ {
+				sink += int64(w.Count(j))
+			}
+		}
+		_ = sink
+	})
+}

@@ -14,6 +14,16 @@
 // theory.go file provides the closed-form bound calculators used by
 // the experiment harness to compare measured behaviour against the
 // paper's predictions.
+//
+// The estimators are layered on sim's streaming observation pipeline:
+// CollisionObserver and PropertyObserver accumulate each round's
+// per-agent counts from the pipeline's shared bulk snapshots, and
+// CollisionCounts/Algorithm1/PropertyFrequency are thin sim.Run
+// drivers around them. StreamingEstimator.AsObserver plugs the
+// anytime-confidence-band estimator into the same loop; the quorum
+// package builds per-agent early stopping on top of it. Per the
+// pipeline's determinism invariant, none of these observers' results
+// depend on what other observers share the run.
 package core
 
 import (
@@ -69,54 +79,101 @@ func WithNoise(detectProb, spuriousProb float64, seed uint64) Option {
 	}
 }
 
-// CollisionCounts advances w by t rounds and returns each agent's
-// total collision count sum_r count(position_r) — the quantity c
-// maintained by Algorithm 1.
-func CollisionCounts(w *sim.World, t int, opts ...Option) ([]int64, error) {
+// CollisionObserver is the pipeline form of Algorithm 1's counting
+// loop: each observed round it reads the whole round's counts from the
+// shared snapshot and accumulates every agent's running total
+// sum_r count(position_r) — the quantity c of Algorithm 1. It never
+// stops on its own; the caller fixes the horizon via sim.Run's round
+// budget.
+type CollisionObserver struct {
+	o      options
+	noise  *rng.Stream
+	counts []int64
+	rounds int
+}
+
+// NewCollisionObserver returns a CollisionObserver for n agents with
+// the given estimator options.
+func NewCollisionObserver(n int, opts ...Option) (*CollisionObserver, error) {
 	o := defaultOptions()
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
 			return nil, err
 		}
 	}
+	co := &CollisionObserver{o: o, counts: make([]int64, n)}
+	if o.noisy {
+		co.noise = rng.New(o.noiseSeed)
+	}
+	return co, nil
+}
+
+// Observe accumulates one round's counts for every agent.
+func (co *CollisionObserver) Observe(r *sim.Round) sim.Signal {
+	var cs []int
+	if co.o.taggedOnly {
+		cs = r.TaggedCounts()
+	} else {
+		cs = r.Counts()
+	}
+	if co.o.noisy {
+		for i, c := range cs {
+			co.counts[i] += int64(perturb(c, co.o, co.noise))
+		}
+	} else {
+		for i, c := range cs {
+			co.counts[i] += int64(c)
+		}
+	}
+	co.rounds++
+	return sim.Continue
+}
+
+// Rounds returns the number of observed rounds.
+func (co *CollisionObserver) Rounds() int { return co.rounds }
+
+// Counts returns each agent's accumulated collision total. The slice
+// is live; it keeps accumulating if observation continues.
+func (co *CollisionObserver) Counts() []int64 { return co.counts }
+
+// Estimates returns each agent's encounter-rate density estimate
+// c/rounds — Algorithm 1's output at the current horizon, or all
+// zeros before the first observed round (matching
+// StreamingEstimator.Estimate).
+func (co *CollisionObserver) Estimates() []float64 {
+	out := make([]float64, len(co.counts))
+	if co.rounds == 0 {
+		return out
+	}
+	for i, c := range co.counts {
+		out[i] = float64(c) / float64(co.rounds)
+	}
+	return out
+}
+
+// CollisionCounts advances w by t rounds through the streaming
+// pipeline and returns each agent's total collision count
+// sum_r count(position_r) — the quantity c maintained by Algorithm 1.
+func CollisionCounts(w *sim.World, t int, opts ...Option) ([]int64, error) {
 	if t < 1 {
 		return nil, fmt.Errorf("core: round count must be >= 1, got %d", t)
 	}
-	n := w.NumAgents()
-	counts := make([]int64, n)
-	var noise *rng.Stream
-	if o.noisy {
-		noise = rng.New(o.noiseSeed)
+	obs, err := NewCollisionObserver(w.NumAgents(), opts...)
+	if err != nil {
+		return nil, err
 	}
-	for r := 0; r < t; r++ {
-		w.Step()
-		for i := 0; i < n; i++ {
-			var c int
-			if o.taggedOnly {
-				c = w.CountTagged(i)
-			} else {
-				c = w.Count(i)
-			}
-			if o.noisy {
-				c = perturb(c, o, noise)
-			}
-			counts[i] += int64(c)
-		}
-	}
-	return counts, nil
+	sim.Run(w, t, obs)
+	return obs.Counts(), nil
 }
 
-// perturb applies the WithNoise sensing model to one round's count.
+// perturb applies the WithNoise sensing model to one round's count:
+// the c true collisions thin to Binomial(c, detectProb) detections
+// (sampled in one draw; see rng.Stream.Binomial) and a spurious
+// collision is added with probability spuriousProb.
 func perturb(c int, o options, noise *rng.Stream) int {
-	detected := 0
-	if o.detectProb >= 1 {
-		detected = c
-	} else {
-		for k := 0; k < c; k++ {
-			if noise.Bernoulli(o.detectProb) {
-				detected++
-			}
-		}
+	detected := c
+	if o.detectProb < 1 {
+		detected = noise.Binomial(c, o.detectProb)
 	}
 	if o.spuriousProb > 0 && noise.Bernoulli(o.spuriousProb) {
 		detected++
@@ -153,54 +210,83 @@ type PropertyResult struct {
 	Frequency []float64
 }
 
-// PropertyFrequency implements the Section 5.2 swarm computation: each
-// agent simultaneously tracks total encounters and encounters with
-// tagged agents over t rounds, estimating the overall density d, the
-// property density d_P, and the relative frequency f_P = d_P/d.
-// Tag agents with w.SetTagged before calling.
-func PropertyFrequency(w *sim.World, t int, opts ...Option) (*PropertyResult, error) {
+// PropertyObserver is the pipeline form of the Section 5.2 swarm
+// computation: each round it accumulates, per agent, both the total
+// and the tagged collision counts from the shared snapshots.
+type PropertyObserver struct {
+	o      options
+	noise  *rng.Stream
+	total  []int64
+	tagged []int64
+	rounds int
+}
+
+// NewPropertyObserver returns a PropertyObserver for n agents.
+func NewPropertyObserver(n int, opts ...Option) (*PropertyObserver, error) {
 	o := defaultOptions()
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
 			return nil, err
 		}
 	}
-	if t < 1 {
-		return nil, fmt.Errorf("core: round count must be >= 1, got %d", t)
-	}
-	n := w.NumAgents()
-	total := make([]int64, n)
-	tagged := make([]int64, n)
-	var noise *rng.Stream
+	po := &PropertyObserver{o: o, total: make([]int64, n), tagged: make([]int64, n)}
 	if o.noisy {
-		noise = rng.New(o.noiseSeed)
+		po.noise = rng.New(o.noiseSeed)
 	}
-	for r := 0; r < t; r++ {
-		w.Step()
-		for i := 0; i < n; i++ {
-			ct := w.Count(i)
-			cp := w.CountTagged(i)
-			if o.noisy {
-				// Perturb the non-tagged and tagged components
-				// separately so the two counters see consistent noise.
-				other := perturb(ct-cp, o, noise)
-				prop := perturb(cp, o, noise)
-				ct = other + prop
-				cp = prop
-			}
-			total[i] += int64(ct)
-			tagged[i] += int64(cp)
+	return po, nil
+}
+
+// Observe accumulates one round's total and tagged counts.
+func (po *PropertyObserver) Observe(r *sim.Round) sim.Signal {
+	cts := r.Counts()
+	cps := r.TaggedCounts()
+	for i := range cts {
+		ct, cp := cts[i], cps[i]
+		if po.o.noisy {
+			// Perturb the non-tagged and tagged components
+			// separately so the two counters see consistent noise.
+			other := perturb(ct-cp, po.o, po.noise)
+			prop := perturb(cp, po.o, po.noise)
+			ct = other + prop
+			cp = prop
 		}
+		po.total[i] += int64(ct)
+		po.tagged[i] += int64(cp)
 	}
+	po.rounds++
+	return sim.Continue
+}
+
+// Result converts the accumulated counts into per-agent density,
+// property-density, and frequency estimates at the current horizon.
+func (po *PropertyObserver) Result() *PropertyResult {
+	n := len(po.total)
 	res := &PropertyResult{
 		Density:         make([]float64, n),
 		PropertyDensity: make([]float64, n),
 		Frequency:       make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
-		res.Density[i] = float64(total[i]) / float64(t)
-		res.PropertyDensity[i] = float64(tagged[i]) / float64(t)
+		res.Density[i] = float64(po.total[i]) / float64(po.rounds)
+		res.PropertyDensity[i] = float64(po.tagged[i]) / float64(po.rounds)
 		res.Frequency[i] = res.PropertyDensity[i] / res.Density[i]
 	}
-	return res, nil
+	return res
+}
+
+// PropertyFrequency implements the Section 5.2 swarm computation: each
+// agent simultaneously tracks total encounters and encounters with
+// tagged agents over t rounds, estimating the overall density d, the
+// property density d_P, and the relative frequency f_P = d_P/d.
+// Tag agents with w.SetTagged before calling.
+func PropertyFrequency(w *sim.World, t int, opts ...Option) (*PropertyResult, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("core: round count must be >= 1, got %d", t)
+	}
+	obs, err := NewPropertyObserver(w.NumAgents(), opts...)
+	if err != nil {
+		return nil, err
+	}
+	sim.Run(w, t, obs)
+	return obs.Result(), nil
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"antdensity/internal/sim"
 )
 
 // StreamingEstimator is an incremental version of Algorithm 1 with
@@ -111,4 +113,16 @@ func (e *StreamingEstimator) AboveThreshold(threshold, delta float64) int {
 func (e *StreamingEstimator) Reset() {
 	e.rounds = 0
 	e.count = 0
+}
+
+// AsObserver adapts the estimator to the sim pipeline: each observed
+// round it feeds the estimator the given agent's count from the shared
+// snapshot. It never stops on its own; callers that stop on a
+// threshold decision wrap it (see AboveThreshold) or use the quorum
+// package's anytime detector.
+func (e *StreamingEstimator) AsObserver(agent int) sim.Observer {
+	return sim.ObserverFunc(func(r *sim.Round) sim.Signal {
+		e.Observe(r.Counts()[agent])
+		return sim.Continue
+	})
 }

@@ -34,7 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09",
 		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
-		"E19", "E20", "E21", "E22", "E23", "E24", "E25",
+		"E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -327,6 +327,23 @@ func TestE25QueryScalingQuick(t *testing.T) {
 	}
 	if ratio := metric(t, out, "query_ratio_largest"); ratio >= 1 {
 		t.Errorf("query ratio at largest |V| = %v, want < 1", ratio)
+	}
+}
+
+func TestE26AnytimeQuorumQuick(t *testing.T) {
+	out := runQuick(t, "E26")
+	// Decisions at the extreme ratios must be reliable and clearly
+	// cheaper than near the threshold (the Section 6.2 margin rule).
+	for _, name := range []string{"correct_0.25", "correct_4"} {
+		if rate := metric(t, out, name); rate < 0.8 {
+			t.Errorf("%s = %v, want >= 0.8", name, rate)
+		}
+	}
+	if lo, hi := metric(t, out, "meanstop_4"), metric(t, out, "meanstop_2"); lo > hi {
+		t.Errorf("mean stop at 4x theta (%v) above 2x theta (%v); margin rule violated", lo, hi)
+	}
+	if sv := metric(t, out, "saving_4"); sv <= 1 {
+		t.Errorf("rounds saved vs fixed horizon at 4x theta = %v, want > 1", sv)
 	}
 }
 

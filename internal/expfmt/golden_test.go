@@ -18,7 +18,7 @@ var update = flag.Bool("update", false, "rewrite golden files from current outpu
 // silently changes a reported value fails here; an intended change is
 // recorded with go test ./internal/expfmt -run Golden -update.
 func TestExperimentTableGolden(t *testing.T) {
-	for _, id := range []string{"E01", "E12"} {
+	for _, id := range []string{"E01", "E12", "E26"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			e, ok := experiments.ByID(id)

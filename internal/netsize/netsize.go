@@ -18,17 +18,41 @@ import (
 	"sort"
 
 	"antdensity/internal/rng"
+	"antdensity/internal/sim"
 	"antdensity/internal/stats"
 	"antdensity/internal/topology"
 )
 
 // Walkers is a set of random-walk positions on a graph, with link
-// query accounting.
+// query accounting. The walks run on a sim.World, so every step takes
+// the BulkStepper fast path on the arithmetic regular topologies and
+// the per-round collision totals come from the world's incrementally
+// maintained occupancy index instead of a per-round hash map. Stream
+// derivation is preserved bit-for-bit from the historical scalar
+// implementation (each walker's stream is a Split child of the caller
+// stream), so estimates are unchanged for any fixed seed.
 type Walkers struct {
-	graph   topology.Graph
-	pos     []int64
-	streams []*rng.Stream
+	world   *sim.World
 	queries int64
+	counts  []int // scratch for bulk count snapshots
+}
+
+// graph returns the topology the walkers move on.
+func (w *Walkers) graph() topology.Graph { return w.world.Graph() }
+
+// newWalkers builds the backing world from explicitly derived
+// positions and streams.
+func newWalkers(g topology.Graph, pos []int64, streams []rng.Stream) (*Walkers, error) {
+	world, err := sim.NewWorld(sim.Config{
+		Graph:     g,
+		NumAgents: len(pos),
+		Positions: pos,
+		Streams:   streams,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Walkers{world: world}, nil
 }
 
 // NewWalkersAtSeed starts n walkers at the given seed vertex — the
@@ -40,12 +64,13 @@ func NewWalkersAtSeed(g topology.Graph, n int, seed int64, s *rng.Stream) (*Walk
 	if seed < 0 || seed >= g.NumNodes() {
 		return nil, fmt.Errorf("netsize: seed vertex %d out of range [0, %d)", seed, g.NumNodes())
 	}
-	w := &Walkers{graph: g, pos: make([]int64, n), streams: make([]*rng.Stream, n)}
-	for i := range w.pos {
-		w.pos[i] = seed
-		w.streams[i] = s.Split(uint64(i))
+	pos := make([]int64, n)
+	streams := make([]rng.Stream, n)
+	for i := range pos {
+		pos[i] = seed
+		streams[i] = s.SplitValue(uint64(i))
 	}
-	return w, nil
+	return newWalkers(g, pos, streams)
 }
 
 // NewWalkersStationary starts n walkers at independent samples from
@@ -65,26 +90,24 @@ func NewWalkersStationary(g topology.Graph, n int, s *rng.Stream) (*Walkers, err
 	if total == 0 {
 		return nil, fmt.Errorf("netsize: graph has no edges")
 	}
-	w := &Walkers{graph: g, pos: make([]int64, n), streams: make([]*rng.Stream, n)}
-	for i := range w.pos {
+	pos := make([]int64, n)
+	streams := make([]rng.Stream, n)
+	for i := range pos {
 		r := int64(s.Uint64n(uint64(total)))
-		// Find v with cum[v] <= r < cum[v+1].
-		v := int64(sort.Search(int(a), func(x int) bool { return cum[x+1] > r }))
-		w.pos[i] = v
-		w.streams[i] = s.Split(uint64(i))
+		// Find v with cum[v] <= r < cum[v+1]. The stream split must
+		// happen after this walker's placement draw, reproducing the
+		// historical derivation order exactly.
+		pos[i] = int64(sort.Search(int(a), func(x int) bool { return cum[x+1] > r }))
+		streams[i] = s.SplitValue(uint64(i))
 	}
-	return w, nil
+	return newWalkers(g, pos, streams)
 }
 
 // NumWalkers returns the number of walkers.
-func (w *Walkers) NumWalkers() int { return len(w.pos) }
+func (w *Walkers) NumWalkers() int { return w.world.NumAgents() }
 
 // Positions returns a copy of the walker positions.
-func (w *Walkers) Positions() []int64 {
-	out := make([]int64, len(w.pos))
-	copy(out, w.pos)
-	return out
-}
+func (w *Walkers) Positions() []int64 { return w.world.Positions() }
 
 // Queries returns the cumulative number of link queries issued so
 // far. One query is charged per walker step (each step requires the
@@ -94,10 +117,8 @@ func (w *Walkers) Queries() int64 { return w.queries }
 // Step advances every walker one uniform random step, charging one
 // link query per walker.
 func (w *Walkers) Step() {
-	for i := range w.pos {
-		w.pos[i] = topology.RandomStep(w.graph, w.pos[i], w.streams[i])
-		w.queries++
-	}
+	w.world.Step()
+	w.queries += int64(w.world.NumAgents())
 }
 
 // BurnIn advances all walkers m steps. With m >= the mixing-derived
@@ -109,21 +130,30 @@ func (w *Walkers) BurnIn(m int) {
 	}
 }
 
+// scratch returns the reusable per-walker count buffer.
+func (w *Walkers) scratch() []int {
+	if w.counts == nil {
+		w.counts = make([]int, w.world.NumAgents())
+	}
+	return w.counts
+}
+
 // weightedCollisions returns sum over walkers of
 // count(position)/deg(position) for the current round — the
 // degree-corrected collision total of Algorithm 2.
 func (w *Walkers) weightedCollisions() float64 {
-	occ := make(map[int64]int64, len(w.pos))
-	for _, p := range w.pos {
-		occ[p]++
-	}
-	// Each of the c walkers at v sees c-1 others, weighted 1/deg(v).
-	// Accumulate per walker, in walker-index order — never by ranging
-	// over the map — so the float sum is bit-identical across runs.
+	return w.weightCounts(w.world.CountsAllInto(w.scratch()))
+}
+
+// weightCounts folds a bulk count snapshot into the degree-weighted
+// collision total. Accumulation runs in walker-index order so the
+// float sum is bit-identical across runs, and degrees are queried only
+// for colliding walkers.
+func (w *Walkers) weightCounts(counts []int) float64 {
 	var sum float64
-	for _, p := range w.pos {
-		if c := occ[p]; c > 1 {
-			sum += float64(c-1) / float64(w.graph.Degree(p))
+	for i, c := range counts {
+		if c > 0 {
+			sum += float64(c) / float64(w.graph().Degree(w.world.Pos(i)))
 		}
 	}
 	return sum
@@ -135,11 +165,12 @@ func (w *Walkers) weightedCollisions() float64 {
 // the walkers' current degrees are known from the queries that
 // brought them there.
 func (w *Walkers) EstimateAvgDegree() float64 {
+	n := w.world.NumAgents()
 	var sum float64
-	for _, p := range w.pos {
-		sum += 1 / float64(w.graph.Degree(p))
+	for i := 0; i < n; i++ {
+		sum += 1 / float64(w.graph().Degree(w.world.Pos(i)))
 	}
-	return sum / float64(len(w.pos))
+	return sum / float64(n)
 }
 
 // Result is the output of a size estimation run.
@@ -175,12 +206,16 @@ func (w *Walkers) EstimateSize(t int, invAvgDegree float64) (*Result, error) {
 	if invAvgDegree <= 0 {
 		invAvgDegree = w.EstimateAvgDegree()
 	}
+	// The counting loop is a pipeline observer: each observed round it
+	// folds the shared bulk count snapshot into the weighted collision
+	// total and charges the round's link queries.
 	var total float64
-	for r := 0; r < t; r++ {
-		w.Step()
-		total += w.weightedCollisions()
-	}
-	n := float64(len(w.pos))
+	sim.Run(w.world, t, sim.ObserverFunc(func(r *sim.Round) sim.Signal {
+		w.queries += int64(w.world.NumAgents())
+		total += w.weightCounts(r.Counts())
+		return sim.Continue
+	}))
+	n := float64(w.world.NumAgents())
 	c := total / (invAvgDegree * n * (n - 1) * float64(t))
 	return &Result{
 		Size:         1 / c,
@@ -203,7 +238,7 @@ func (w *Walkers) KatzirEstimate(invAvgDegree float64) *Result {
 	if invAvgDegree <= 0 {
 		invAvgDegree = w.EstimateAvgDegree()
 	}
-	n := float64(len(w.pos))
+	n := float64(w.world.NumAgents())
 	c := w.weightedCollisions() / (invAvgDegree * n * (n - 1))
 	return &Result{Size: 1 / c, C: c, InvAvgDegree: invAvgDegree, Queries: w.queries}
 }

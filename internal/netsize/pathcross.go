@@ -3,6 +3,8 @@ package netsize
 import (
 	"fmt"
 	"math"
+
+	"antdensity/internal/sim"
 )
 
 // This file implements the "beyond encounter rate" idea of the
@@ -36,18 +38,22 @@ func (w *Walkers) CrossRoundEstimate(t int, invAvgDegree float64) (*Result, erro
 	if invAvgDegree <= 0 {
 		invAvgDegree = w.EstimateAvgDegree()
 	}
-	n := len(w.pos)
+	n := w.world.NumAgents()
 	paths := make([][]int64, n)
 	for i := range paths {
 		paths[i] = make([]int64, 0, t+1)
-		paths[i] = append(paths[i], w.pos[i])
+		paths[i] = append(paths[i], w.world.Pos(i))
 	}
-	for r := 0; r < t; r++ {
-		w.Step()
+	// Path recording is a pipeline observer: after each round it
+	// appends every walker's new position and charges the round's link
+	// queries.
+	sim.Run(w.world, t, sim.ObserverFunc(func(_ *sim.Round) sim.Signal {
+		w.queries += int64(n)
 		for i := range paths {
-			paths[i] = append(paths[i], w.pos[i])
+			paths[i] = append(paths[i], w.world.Pos(i))
 		}
-	}
+		return sim.Continue
+	}))
 	// Count, for each vertex, how many times each walk visits it,
 	// then combine per-vertex visit counts across walk pairs:
 	// X = sum_v (1/deg v) * [ (sum_i m_iv)^2 - sum_i m_iv^2 ],
@@ -86,7 +92,7 @@ func (w *Walkers) CrossRoundEstimate(t int, invAvgDegree float64) (*Result, erro
 			sq += fm * fm
 			start = end
 		}
-		x += (tot*tot - sq) / float64(w.graph.Degree(v))
+		x += (tot*tot - sq) / float64(w.graph().Degree(v))
 	}
 	nn := float64(n)
 	tt := float64(t + 1)

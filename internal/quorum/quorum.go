@@ -27,8 +27,10 @@ func mustTorus(side int64) *topology.Torus {
 	return topology.MustTorus(2, side)
 }
 
-// Decide runs Algorithm 1 for t rounds on w and returns each agent's
-// quorum vote: true iff its density estimate reaches threshold.
+// Decide runs Algorithm 1 for t rounds on w (through the streaming
+// observation pipeline Algorithm1 is layered on) and returns each
+// agent's quorum vote: true iff its density estimate reaches
+// threshold.
 func Decide(w *sim.World, threshold float64, t int, opts ...core.Option) ([]bool, error) {
 	if threshold <= 0 {
 		return nil, fmt.Errorf("quorum: threshold must be positive, got %v", threshold)
@@ -159,6 +161,17 @@ func (d *Detector) Reset() {
 	d.inQuorum = false
 }
 
+// AsObserver adapts the detector to the sim pipeline: each observed
+// round it feeds the detector the given agent's collision count from
+// the shared snapshot. The detector monitors continuously and never
+// stops the run.
+func (d *Detector) AsObserver(agent int) sim.Observer {
+	return sim.ObserverFunc(func(r *sim.Round) sim.Signal {
+		d.Observe(r.Counts()[agent])
+		return sim.Continue
+	})
+}
+
 // DetectionCurve measures the probability that an agent declares
 // quorum as a function of the true density, at a fixed threshold and
 // horizon — the psychometric curve of quorum sensing. For each
@@ -200,4 +213,119 @@ func DetectionCurve(side int64, threshold float64, t int, ratios []float64, tria
 		out[ri] = float64(votesYes) / float64(votesAll)
 	}
 	return out, nil
+}
+
+// AnytimeDetector is the Section 6.2 adaptive threshold observer: one
+// streaming estimator per agent, each deciding whether the density is
+// above or below the threshold as soon as its anytime confidence band
+// clears it. Decided agents are retired through the pipeline's active
+// mask (recording per-agent stopping times), and the observer stops
+// the run once every agent has decided — the windowed early-exit that
+// replaces the fixed Theorem 1 horizon.
+//
+// The observer owns every agent it retires; per the sim.Observer
+// contract it must be the only observer deactivating those agents.
+type AnytimeDetector struct {
+	threshold float64
+	delta     float64
+	ests      []*core.StreamingEstimator
+	decision  []int
+	stopRound []int
+}
+
+// NewAnytimeDetector returns an AnytimeDetector for n agents deciding
+// about threshold at confidence 1-delta, with c1 the Theorem 1
+// constant shaping the confidence bands (see
+// core.NewStreamingEstimator).
+func NewAnytimeDetector(n int, threshold, delta, c1 float64) (*AnytimeDetector, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("quorum: threshold must be positive, got %v", threshold)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("quorum: delta must be in (0, 1), got %v", delta)
+	}
+	a := &AnytimeDetector{
+		threshold: threshold,
+		delta:     delta,
+		ests:      make([]*core.StreamingEstimator, n),
+		decision:  make([]int, n),
+		stopRound: make([]int, n),
+	}
+	for i := range a.ests {
+		est, err := core.NewStreamingEstimator(c1)
+		if err != nil {
+			return nil, err
+		}
+		a.ests[i] = est
+	}
+	return a, nil
+}
+
+// Observe feeds every still-active agent its round count and retires
+// agents whose confidence band cleared the threshold.
+func (a *AnytimeDetector) Observe(r *sim.Round) sim.Signal {
+	cs := r.Counts()
+	for i, est := range a.ests {
+		if !r.Active(i) {
+			continue
+		}
+		est.Observe(cs[i])
+		if v := est.AboveThreshold(a.threshold, a.delta); v != 0 {
+			a.decision[i] = v
+			a.stopRound[i] = r.Index()
+			r.Deactivate(i)
+		}
+	}
+	if r.NumActive() == 0 {
+		return sim.Stop
+	}
+	return sim.Continue
+}
+
+// Decision returns agent i's verdict: +1 (density above threshold),
+// -1 (below), or 0 (undecided so far).
+func (a *AnytimeDetector) Decision(i int) int { return a.decision[i] }
+
+// StopRound returns the round at which agent i decided, or 0 if it is
+// still undecided.
+func (a *AnytimeDetector) StopRound(i int) int { return a.stopRound[i] }
+
+// AnytimeResult holds the outcome of an AnytimeDecide run.
+type AnytimeResult struct {
+	// Decision[i] is agent i's verdict: +1 above, -1 below, 0
+	// undecided at the horizon.
+	Decision []int
+	// StopRound[i] is the round agent i decided; undecided agents
+	// carry the executed round count.
+	StopRound []int
+	// Rounds is the number of rounds actually executed; below
+	// maxRounds when every agent decided early.
+	Rounds int
+}
+
+// AnytimeDecide is the adaptive counterpart of Decide: instead of a
+// fixed horizon, every agent runs its own anytime confidence band and
+// stops as soon as the band clears the threshold in either direction
+// (Section 6.2). The world stops stepping once all agents have
+// decided, or after maxRounds.
+func AnytimeDecide(w *sim.World, threshold, delta, c1 float64, maxRounds int) (*AnytimeResult, error) {
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("quorum: maxRounds must be >= 1, got %d", maxRounds)
+	}
+	obs, err := NewAnytimeDetector(w.NumAgents(), threshold, delta, c1)
+	if err != nil {
+		return nil, err
+	}
+	rounds := sim.Run(w, maxRounds, obs)
+	res := &AnytimeResult{
+		Decision:  obs.decision,
+		StopRound: obs.stopRound,
+		Rounds:    rounds,
+	}
+	for i, d := range res.Decision {
+		if d == 0 {
+			res.StopRound[i] = rounds
+		}
+	}
+	return res, nil
 }

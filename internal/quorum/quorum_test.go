@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"antdensity/internal/core"
 	"antdensity/internal/sim"
 	"antdensity/internal/topology"
 )
@@ -192,5 +193,138 @@ func TestDetectionCurveMonotone(t *testing.T) {
 	}
 	if !(curve[0] < curve[1] && curve[1] < curve[2]) {
 		t.Errorf("detection curve not monotone: %v", curve)
+	}
+}
+
+func TestDetectorAsObserverMatchesScalarFeed(t *testing.T) {
+	// Feeding a detector through the pipeline must be identical to
+	// feeding it Count(0) by hand on a twin world.
+	g := topology.MustTorus(2, 12)
+	w1 := sim.MustWorld(sim.Config{Graph: g, NumAgents: 60, Seed: 9})
+	w2 := sim.MustWorld(sim.Config{Graph: g, NumAgents: 60, Seed: 9})
+	d1, err := NewDetector(0.3, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := NewDetector(0.3, 0.2, 3)
+	const rounds = 200
+	sim.Run(w1, rounds, d1.AsObserver(0))
+	for r := 0; r < rounds; r++ {
+		w2.Step()
+		d2.Observe(w2.Count(0))
+	}
+	if d1.Estimate() != d2.Estimate() || d1.Rounds() != d2.Rounds() || d1.InQuorum() != d2.InQuorum() {
+		t.Errorf("pipeline detector (est %v, rounds %d, in %v) != scalar (est %v, rounds %d, in %v)",
+			d1.Estimate(), d1.Rounds(), d1.InQuorum(), d2.Estimate(), d2.Rounds(), d2.InQuorum())
+	}
+}
+
+func TestAnytimeDecideSeparatesDensities(t *testing.T) {
+	g := topology.MustTorus(2, 20) // A = 400
+	const threshold = 0.1
+	decideAt := func(agents int, seed uint64) *AnytimeResult {
+		w := sim.MustWorld(sim.Config{Graph: g, NumAgents: agents, Seed: seed})
+		res, err := AnytimeDecide(w, threshold, 0.05, 0.6, 40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	high := decideAt(161, 5) // d = 0.4: all agents should decide +1 fast
+	correct := 0
+	for i, d := range high.Decision {
+		if d == +1 {
+			correct++
+		}
+		if high.StopRound[i] < 1 || high.StopRound[i] > high.Rounds {
+			t.Errorf("agent %d stop round %d outside [1, %d]", i, high.StopRound[i], high.Rounds)
+		}
+	}
+	if frac := float64(correct) / float64(len(high.Decision)); frac < 0.9 {
+		t.Errorf("high-density correct fraction = %v, want >= 0.9", frac)
+	}
+	low := decideAt(11, 6) // d = 0.025: agents should decide -1
+	correct = 0
+	for _, d := range low.Decision {
+		if d == -1 {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(low.Decision)); frac < 0.9 {
+		t.Errorf("low-density correct fraction = %v, want >= 0.9", frac)
+	}
+	// The margin rule of Section 6.2: decisions far from the threshold
+	// come faster than the fixed horizon sized for the threshold.
+	if high.Rounds >= 40000 {
+		t.Errorf("high-density run used the full horizon (%d rounds); expected early stop", high.Rounds)
+	}
+}
+
+func TestAnytimeDecideValidation(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 4, Seed: 1})
+	if _, err := AnytimeDecide(w, 0, 0.05, 0.6, 10); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := AnytimeDecide(w, 0.1, 0, 0.6, 10); err == nil {
+		t.Error("zero delta accepted")
+	}
+	if _, err := AnytimeDecide(w, 0.1, 0.05, 0, 10); err == nil {
+		t.Error("zero c1 accepted")
+	}
+	if _, err := AnytimeDecide(w, 0.1, 0.05, 0.6, 0); err == nil {
+		t.Error("zero maxRounds accepted")
+	}
+}
+
+func TestAnytimeDetectorAgreesWithStreamingEstimator(t *testing.T) {
+	// The per-agent anytime observer must reproduce, agent by agent,
+	// what a hand-rolled StreamingEstimator loop decides for the same
+	// world seed — the tie between the pipeline's active mask and the
+	// scalar early-stopping loop of experiment E24.
+	g := topology.MustTorus(2, 20)
+	const agents, threshold, delta, c1, horizon = 41, 0.1, 0.05, 0.6, 4000
+	w1 := sim.MustWorld(sim.Config{Graph: g, NumAgents: agents, Seed: 77})
+	res, err := AnytimeDecide(w1, threshold, delta, c1, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scalar replay: every agent its own estimator, same stop rule.
+	w2 := sim.MustWorld(sim.Config{Graph: g, NumAgents: agents, Seed: 77})
+	ests := make([]*core.StreamingEstimator, agents)
+	for i := range ests {
+		ests[i], _ = core.NewStreamingEstimator(c1)
+	}
+	decision := make([]int, agents)
+	stopRound := make([]int, agents)
+	undecided := agents
+	rounds := 0
+	for r := 1; r <= horizon && undecided > 0; r++ {
+		w2.Step()
+		rounds = r
+		for i := 0; i < agents; i++ {
+			if decision[i] != 0 {
+				continue
+			}
+			ests[i].Observe(w2.Count(i))
+			if v := ests[i].AboveThreshold(threshold, delta); v != 0 {
+				decision[i] = v
+				stopRound[i] = r
+				undecided--
+			}
+		}
+	}
+	if res.Rounds != rounds {
+		t.Fatalf("pipeline ran %d rounds, scalar replay %d", res.Rounds, rounds)
+	}
+	for i := 0; i < agents; i++ {
+		want := stopRound[i]
+		if decision[i] == 0 {
+			want = rounds
+		}
+		if res.Decision[i] != decision[i] || res.StopRound[i] != want {
+			t.Errorf("agent %d: pipeline (%d @ %d) != scalar (%d @ %d)",
+				i, res.Decision[i], res.StopRound[i], decision[i], want)
+		}
 	}
 }

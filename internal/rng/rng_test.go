@@ -291,3 +291,109 @@ func TestNextMatchesUint64(t *testing.T) {
 		t.Errorf("Next mutated its value receiver: %d then %d", a, b)
 	}
 }
+
+func TestBinomialEdgeCases(t *testing.T) {
+	s := New(1)
+	if got := s.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, 0.5) = %d, want 0", got)
+	}
+	if got := s.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d, want 0", got)
+	}
+	if got := s.Binomial(10, -0.5); got != 0 {
+		t.Errorf("Binomial(10, -0.5) = %d, want 0 (clamped)", got)
+	}
+	if got := s.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d, want 10", got)
+	}
+	if got := s.Binomial(10, 1.5); got != 10 {
+		t.Errorf("Binomial(10, 1.5) = %d, want 10 (clamped)", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Binomial(-1, 0.5) did not panic")
+		}
+	}()
+	s.Binomial(-1, 0.5)
+}
+
+func TestBinomialDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 200; i++ {
+		if x, y := a.Binomial(17, 0.3), b.Binomial(17, 0.3); x != y {
+			t.Fatalf("draw %d: same seed gave %d and %d", i, x, y)
+		}
+	}
+}
+
+func TestBinomialMomentsProperty(t *testing.T) {
+	// Property: for a grid of (n, p), the sampler's empirical mean and
+	// variance match np and np(1-p), every sample lies in [0, n], and
+	// large n (forcing the chunked path) stays calibrated.
+	s := New(99)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{1, 0.5}, {4, 0.25}, {20, 0.1}, {20, 0.9}, {100, 0.5},
+		{3000, 0.37}, {5000, 0.999}, // chunked: (1-p)^n underflows
+	}
+	const draws = 20000
+	for _, c := range cases {
+		var sum, sumSq float64
+		for i := 0; i < draws; i++ {
+			k := s.Binomial(c.n, c.p)
+			if k < 0 || k > c.n {
+				t.Fatalf("Binomial(%d, %v) = %d out of range", c.n, c.p, k)
+			}
+			f := float64(k)
+			sum += f
+			sumSq += f * f
+		}
+		mean := sum / draws
+		variance := sumSq/draws - mean*mean
+		wantMean := float64(c.n) * c.p
+		wantVar := float64(c.n) * c.p * (1 - c.p)
+		// Standard error of the mean is sqrt(var/draws); allow 6 sigma
+		// plus a small absolute slack for the variance estimate.
+		tol := 6*math.Sqrt(wantVar/draws) + 1e-9
+		if math.Abs(mean-wantMean) > tol {
+			t.Errorf("Binomial(%d, %v): mean %v, want %v +- %v", c.n, c.p, mean, wantMean, tol)
+		}
+		if wantVar > 0.01 && math.Abs(variance-wantVar)/wantVar > 0.15 {
+			t.Errorf("Binomial(%d, %v): variance %v, want ~%v", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialMatchesBernoulliSumDistribution(t *testing.T) {
+	// The single-draw sampler must follow the same distribution as the
+	// Bernoulli-sum definition it replaced: compare empirical CDFs.
+	const n, p, draws = 12, 0.35, 40000
+	fast, slow := New(5), New(6)
+	var cdfFast, cdfSlow [n + 1]float64
+	for i := 0; i < draws; i++ {
+		cdfFast[fast.Binomial(n, p)]++
+		k := 0
+		for j := 0; j < n; j++ {
+			if slow.Bernoulli(p) {
+				k++
+			}
+		}
+		cdfSlow[k]++
+	}
+	cum1, cum2, maxGap := 0.0, 0.0, 0.0
+	for k := 0; k <= n; k++ {
+		cum1 += cdfFast[k] / draws
+		cum2 += cdfSlow[k] / draws
+		if gap := math.Abs(cum1 - cum2); gap > maxGap {
+			maxGap = gap
+		}
+	}
+	// Two-sample Kolmogorov-Smirnov bound at alpha ~ 1e-6 for these
+	// sample sizes is ~0.024; anything near that signals a real
+	// distribution mismatch rather than noise.
+	if maxGap > 0.024 {
+		t.Errorf("CDF gap between Binomial and Bernoulli-sum = %v, want < 0.024", maxGap)
+	}
+}

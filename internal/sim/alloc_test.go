@@ -59,6 +59,52 @@ func TestStepParallelZeroAllocs(t *testing.T) {
 	})
 }
 
+func TestCountsIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	// The bulk snapshot path must be allocation-free on both index
+	// representations once the caller supplies the buffer.
+	for _, occ := range []OccupancyIndex{OccDense, OccSparse} {
+		w := MustWorld(Config{Graph: topology.MustTorus(2, 64), NumAgents: 2048, Seed: 5, Occupancy: occ})
+		w.SetTagged(0, true)
+		w.SetGroup(1, 3)
+		buf := make([]int, w.NumAgents())
+		w.Count(0)
+		requireZeroAllocs(t, "CountsAllInto", func() { w.CountsAllInto(buf) })
+		requireZeroAllocs(t, "CountsTaggedAllInto", func() { w.CountsTaggedAllInto(buf) })
+		requireZeroAllocs(t, "CountsInGroupInto", func() { w.CountsInGroupInto(3, buf) })
+	}
+}
+
+// pipelineProbe reads every snapshot flavor each round, exercising the
+// Round's buffer reuse.
+type pipelineProbe struct{ sink int }
+
+func (p *pipelineProbe) Observe(r *Round) Signal {
+	p.sink += r.Counts()[0] + r.TaggedCounts()[1] + r.GroupCounts(3)[2]
+	if r.Active(0) {
+		p.sink++
+	}
+	return Continue
+}
+
+func TestRunnerStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	// A full pipeline round — world step, incremental occupancy update,
+	// and all three snapshot flavors handed to an observer — must not
+	// allocate in steady state.
+	w := MustWorld(Config{Graph: topology.MustTorus(2, 64), NumAgents: 4096, Seed: 6})
+	w.SetTagged(0, true)
+	w.SetGroup(2, 3)
+	probe := &pipelineProbe{}
+	rn := NewRunner(w, probe)
+	rn.Step() // warm the lazily created snapshot buffers and the index
+	requireZeroAllocs(t, "Runner.Step (full pipeline round)", func() { rn.Step() })
+}
+
 func TestCountZeroAllocsSparse(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under -race")

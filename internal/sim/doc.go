@@ -53,4 +53,31 @@
 // steady-state parallel stepping starts no goroutines and allocates
 // nothing. With the index active, Step, StepParallel, and Count run at
 // zero allocations per round.
+//
+// # Observation pipeline
+//
+// Estimators consume rounds through the streaming observation
+// pipeline (pipeline.go) instead of issuing n scalar Count calls per
+// round: Run(w, rounds, obs...) advances the world and hands each
+// Observer a Round snapshot whose Counts/TaggedCounts/GroupCounts
+// accessors serve the whole round's per-agent counts from the bulk
+// CountsAllInto family, computed at most once per round into buffers
+// reused for the run's lifetime. A full pipeline round — step,
+// incremental index update, snapshots, observer callbacks — allocates
+// nothing in steady state (pinned by alloc regression tests).
+//
+// Early stopping has two granularities. An observer returning Stop
+// retires itself, and the run ends once every observer has stopped —
+// the per-run anytime usage of the paper's Section 6.2. For per-agent
+// stopping times, observers retire individual agents through the
+// shared active mask (Round.Deactivate); the run ends when no agent
+// remains active, and each agent's decision round is its stopping
+// time.
+//
+// The pipeline preserves the determinism invariant: observers cannot
+// influence stepping or snapshot contents, so results are independent
+// of observer count and order. The one piece of observer-visible
+// shared state, the active mask, follows an ownership rule — each
+// agent is deactivated (and has its Active bit read) by at most one
+// observer — which keeps multi-observer runs order-independent too.
 package sim

@@ -1,6 +1,9 @@
 package sim
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // This file holds the alternative collision-counting implementation
 // used as an ablation (DESIGN.md design choice #1): counting by
@@ -13,10 +16,21 @@ import "sort"
 // round in one pass over the occupancy index — equivalent to calling
 // Count(i) for all i, but returning a fresh slice.
 func (w *World) CountsAll() []int {
+	return w.CountsAllInto(make([]int, len(w.pos)))
+}
+
+// CountsAllInto is CountsAll writing into dst, the zero-allocation
+// snapshot primitive used by the Run pipeline: dst must have length at
+// least NumAgents, and the filled prefix dst[:NumAgents] is returned.
+// It panics if dst is too short.
+func (w *World) CountsAllInto(dst []int) []int {
+	if len(dst) < len(w.pos) {
+		panic(fmt.Sprintf("sim: CountsAllInto dst length %d < %d agents", len(dst), len(w.pos)))
+	}
 	if w.occDirty {
 		w.rebuildOcc()
 	}
-	out := make([]int, len(w.pos))
+	out := dst[:len(w.pos)]
 	if d := w.occ.dense; d != nil {
 		for i, p := range w.pos {
 			out[i] = int(d[p].total) - 1
@@ -41,12 +55,32 @@ func (w *World) CountsAllSorted() []int {
 // CountsTaggedAll returns every agent's CountTagged in one pass over
 // the occupancy index — the tagged variant of CountsAll.
 func (w *World) CountsTaggedAll() []int {
+	return w.CountsTaggedAllInto(make([]int, len(w.pos)))
+}
+
+// CountsTaggedAllInto is CountsTaggedAll writing into dst; see
+// CountsAllInto for the dst contract.
+func (w *World) CountsTaggedAllInto(dst []int) []int {
+	if len(dst) < len(w.pos) {
+		panic(fmt.Sprintf("sim: CountsTaggedAllInto dst length %d < %d agents", len(dst), len(w.pos)))
+	}
 	if w.occDirty {
 		w.rebuildOcc()
 	}
-	out := make([]int, len(w.pos))
+	out := dst[:len(w.pos)]
+	if d := w.occ.dense; d != nil {
+		for i, p := range w.pos {
+			c := int(d[p].tagged)
+			if w.tagged[i] {
+				c--
+			}
+			out[i] = c
+		}
+		return out
+	}
+	t := w.occ.sparse
 	for i, p := range w.pos {
-		c := int(w.occCell(p).tagged)
+		c := int(t.get(p).tagged)
 		if w.tagged[i] {
 			c--
 		}
@@ -64,14 +98,23 @@ func (w *World) CountsTaggedAllSorted() []int {
 // CountsInGroupAll returns every agent's CountInGroup for the given
 // positive group in one pass — the per-task variant of CountsAll.
 func (w *World) CountsInGroupAll(group int) []int {
+	return w.CountsInGroupInto(group, make([]int, len(w.pos)))
+}
+
+// CountsInGroupInto is CountsInGroupAll writing into dst; see
+// CountsAllInto for the dst contract.
+func (w *World) CountsInGroupInto(group int, dst []int) []int {
 	if group <= 0 {
-		panic("sim: CountsInGroupAll needs a positive group")
+		panic("sim: CountsInGroupInto needs a positive group")
+	}
+	if len(dst) < len(w.pos) {
+		panic(fmt.Sprintf("sim: CountsInGroupInto dst length %d < %d agents", len(dst), len(w.pos)))
 	}
 	if w.occDirty {
 		w.rebuildOcc()
 	}
 	g := int32(group)
-	out := make([]int, len(w.pos))
+	out := dst[:len(w.pos)]
 	for i, p := range w.pos {
 		c := int(w.occ.group[groupKey{pos: p, group: g}])
 		if w.groups[i] == g {

@@ -77,6 +77,17 @@ type Config struct {
 	// memory budget and the sparse map otherwise. Both give identical
 	// results; see the package documentation.
 	Occupancy OccupancyIndex
+	// Positions, when non-nil, fixes every agent's initial position
+	// directly (length must equal NumAgents) and Placement is ignored.
+	// Together with Streams it lets callers that predate the sim layer
+	// (netsize's walkers) reproduce their historical randomness
+	// bit-for-bit on top of World.
+	Positions []int64
+	// Streams, when non-nil, supplies every agent's private rng stream
+	// (length must equal NumAgents) instead of deriving them from Seed.
+	// The world copies the slice; Seed is then unused except by
+	// components that read it separately.
+	Streams []rng.Stream
 }
 
 // World is a synchronous multi-agent simulation. It tracks agent
@@ -122,6 +133,12 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.NumAgents < 1 {
 		return nil, fmt.Errorf("sim: NumAgents must be >= 1, got %d", cfg.NumAgents)
 	}
+	if cfg.Positions != nil && len(cfg.Positions) != cfg.NumAgents {
+		return nil, fmt.Errorf("sim: Config.Positions has %d entries for %d agents", len(cfg.Positions), cfg.NumAgents)
+	}
+	if cfg.Streams != nil && len(cfg.Streams) != cfg.NumAgents {
+		return nil, fmt.Errorf("sim: Config.Streams has %d entries for %d agents", len(cfg.Streams), cfg.NumAgents)
+	}
 	placement := cfg.Placement
 	if placement == nil {
 		placement = UniformPlacement
@@ -147,8 +164,16 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	for i := 0; i < cfg.NumAgents; i++ {
 		w.policies[i] = policy
-		w.streams[i] = root.SplitValue(uint64(i))
-		w.pos[i] = placement(i, cfg.Graph, &w.streams[i])
+		if cfg.Streams != nil {
+			w.streams[i] = cfg.Streams[i]
+		} else {
+			w.streams[i] = root.SplitValue(uint64(i))
+		}
+		if cfg.Positions != nil {
+			w.pos[i] = cfg.Positions[i]
+		} else {
+			w.pos[i] = placement(i, cfg.Graph, &w.streams[i])
+		}
 		if w.pos[i] < 0 || w.pos[i] >= cfg.Graph.NumNodes() {
 			return nil, fmt.Errorf("sim: placement put agent %d at %d, outside [0, %d)", i, w.pos[i], cfg.Graph.NumNodes())
 		}
