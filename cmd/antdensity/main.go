@@ -5,7 +5,8 @@
 // Usage:
 //
 //	antdensity list
-//	antdensity run [-seed N] [-quick] [-workers W] [-cpuprofile F] <exp-id>|all
+//	antdensity run [-seed N] [-quick] [-workers W] [-format text|json|csv] [-cpuprofile F] <exp-id>|all
+//	antdensity sweep <exp-id> [-seed N] [-quick] [-workers W] [-format text|json|csv] [-axis name=v1,v2,...] [-axis name=lo:hi:step]
 //	antdensity estimate [-dims K] [-side L] [-agents N] [-rounds T] [-seed N] [-cpuprofile F]
 //	antdensity netsize  [-graph ba|er|ws|torus3] [-nodes N] [-walkers W] [-steps T] [-seed N]
 //	antdensity walk     [-topo torus2d|ring|torus3d|hypercube] [-steps M] [-trials K] [-seed N]
@@ -13,15 +14,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strings"
 
 	"antdensity/internal/core"
 	"antdensity/internal/experiments"
 	"antdensity/internal/expfmt"
 	"antdensity/internal/netsize"
+	"antdensity/internal/results"
 	"antdensity/internal/rng"
 	"antdensity/internal/sim"
 	"antdensity/internal/socialnet"
@@ -47,6 +51,8 @@ func run(args []string) error {
 		return cmdList()
 	case "run":
 		return cmdRun(args[1:])
+	case "sweep":
+		return cmdSweep(args[1:])
 	case "estimate":
 		return cmdEstimate(args[1:])
 	case "netsize":
@@ -71,7 +77,8 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   antdensity list                          list registered experiments
-  antdensity run [flags] <exp-id>|all      run reproduction experiments
+  antdensity run [flags] <exp-id>|all      run reproduction experiments (-format text|json|csv)
+  antdensity sweep <exp-id> [flags]        run a parameter sweep (-axis name=v1,v2 | name=lo:hi:step)
   antdensity estimate [flags]              run Algorithm 1 on a torus
   antdensity netsize [flags]               estimate a synthetic network's size
   antdensity walk [flags]                  measure re-collision curves
@@ -89,13 +96,24 @@ func cmdList() error {
 }
 
 func cmdRun(args []string) error {
+	// Accept experiment IDs before the flags (antdensity run E01
+	// -format=json) as well as after them.
+	var leadingIDs []string
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		leadingIDs, args = append(leadingIDs, args[0]), args[1:]
+	}
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "random seed")
 	quick := fs.Bool("quick", false, "reduced trial counts")
 	workers := fs.Int("workers", 0, "trial-runner goroutines (0 = all CPUs); results are identical for any value")
+	format := fs.String("format", "text", "output format: text, json, or csv")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (inspect with 'go tool pprof')")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	f, err := parseFormat(*format)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
 	}
 	if *cpuprofile != "" {
 		stop, err := startCPUProfile(*cpuprofile)
@@ -104,30 +122,59 @@ func cmdRun(args []string) error {
 		}
 		defer stop()
 	}
-	ids := fs.Args()
+	ids := append(leadingIDs, fs.Args()...)
 	if len(ids) == 0 {
-		return fmt.Errorf("run: need an experiment id or 'all'")
+		return fmt.Errorf("run: need an experiment id or 'all' (available: %s)",
+			strings.Join(experiments.IDs(), ", "))
 	}
 	var selected []experiments.Experiment
 	if len(ids) == 1 && ids[0] == "all" {
 		selected = experiments.All()
 	} else {
 		for _, id := range ids {
-			e, ok := experiments.ByID(id)
-			if !ok {
-				return fmt.Errorf("run: unknown experiment %q (try 'antdensity list')", id)
+			e, err := resolveExperiment(id)
+			if err != nil {
+				return fmt.Errorf("run: %w", err)
 			}
 			selected = append(selected, e)
 		}
 	}
-	for _, e := range selected {
-		fmt.Printf("=== %s: %s\n    %s\n", e.ID, e.Title, e.Claim)
-		if _, err := e.Run(experiments.Params{Seed: *seed, Quick: *quick, Out: os.Stdout, Workers: *workers}); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		fmt.Println()
+	if f == "csv" && len(selected) > 1 {
+		return fmt.Errorf("run: -format=csv supports a single experiment id (got %d)", len(selected))
 	}
-	return nil
+	p := experiments.Params{Seed: *seed, Quick: *quick, Out: os.Stdout, Workers: *workers}
+	switch f {
+	case "text":
+		for _, e := range selected {
+			fmt.Printf("=== %s: %s\n    %s\n", e.ID, e.Title, e.Claim)
+			if _, err := e.Run(p); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	case "csv":
+		res, err := selected[0].RunResult(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", selected[0].ID, err)
+		}
+		return results.WriteCSV(os.Stdout, res)
+	default: // json: one object for a single experiment, an array otherwise
+		var all []*results.Result
+		for _, e := range selected {
+			res, err := e.RunResult(p)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			all = append(all, res)
+		}
+		if len(all) == 1 {
+			return results.WriteJSON(os.Stdout, all[0])
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(all)
+	}
 }
 
 // startCPUProfile begins profiling into path and returns a function

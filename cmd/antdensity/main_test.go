@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -43,6 +44,15 @@ func TestRunDispatchErrors(t *testing.T) {
 		{name: "run unknown id", args: []string{"run", "E99"}},
 		{name: "netsize bad graph", args: []string{"netsize", "-graph", "nope", "-nodes", "50"}},
 		{name: "walk bad topo", args: []string{"walk", "-topo", "nope"}},
+		{name: "run bad format", args: []string{"run", "-format", "yaml", "E01"}},
+		{name: "run csv multi", args: []string{"run", "-format", "csv", "E01", "E02"}},
+		{name: "sweep without id", args: []string{"sweep"}},
+		{name: "sweep unknown id", args: []string{"sweep", "E99"}},
+		{name: "sweep bad format", args: []string{"sweep", "E01", "-format", "yaml"}},
+		{name: "sweep unknown axis", args: []string{"sweep", "E01", "-axis", "bogus=1"}},
+		{name: "sweep bad axis value", args: []string{"sweep", "E01", "-axis", "steps=abc"}},
+		{name: "sweep bad axis range", args: []string{"sweep", "E01", "-axis", "steps=10:5:1"}},
+		{name: "sweep not sweepable", args: []string{"sweep", "E20"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -50,6 +60,160 @@ func TestRunDispatchErrors(t *testing.T) {
 				t.Errorf("run(%v) succeeded, want error", tt.args)
 			}
 		})
+	}
+}
+
+// TestErrorsListOptions checks that the unknown-id, bad-format, and
+// bad-axis errors name the available options.
+func TestErrorsListOptions(t *testing.T) {
+	tests := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"run", "E99"}, "available: E01"},
+		{[]string{"run", "-format", "yaml", "E01"}, "available: text, json, csv"},
+		{[]string{"sweep", "E99"}, "available: E01"},
+		{[]string{"sweep", "E01", "-format", "yaml"}, "available: text, json, csv"},
+		{[]string{"sweep", "E01", "-axis", "bogus=1"}, "axes: d, steps"},
+		{[]string{"sweep", "E20"}, "sweepable experiments: E01"},
+	}
+	for _, tt := range tests {
+		_, err := captureStdout(t, func() error { return run(tt.args) })
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want error", tt.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("run(%v) error %q does not list options (want substring %q)", tt.args, err, tt.want)
+		}
+	}
+}
+
+func TestCmdRunCaseInsensitiveID(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"run", "e01", "-quick", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=== E01") {
+		t.Errorf("lower-case id did not resolve:\n%s", out)
+	}
+}
+
+func TestCmdRunJSON(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"run", "E01", "-quick", "-seed", "3", "-format", "json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		ID      string             `json:"id"`
+		Metrics map[string]float64 `json:"metrics"`
+		Series  []json.RawMessage  `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("run -format=json output is not valid JSON: %v\n%s", err, out)
+	}
+	if res.ID != "E01" || len(res.Series) == 0 {
+		t.Errorf("unexpected JSON result: id=%q series=%d", res.ID, len(res.Series))
+	}
+	if _, ok := res.Metrics["max_abs_bias"]; !ok {
+		t.Errorf("JSON result missing max_abs_bias metric: %v", res.Metrics)
+	}
+}
+
+func TestCmdRunJSONMulti(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"run", "E01", "E26", "-quick", "-seed", "3", "-format", "json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res []struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("multi-experiment JSON is not an array: %v", err)
+	}
+	if len(res) != 2 || res[0].ID != "E01" || res[1].ID != "E26" {
+		t.Errorf("unexpected JSON array: %+v", res)
+	}
+}
+
+func TestCmdRunCSV(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"run", "E01", "-quick", "-seed", "3", "-format", "csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 density rows
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "density d,agents,rounds t,") {
+		t.Errorf("CSV header unexpected: %q", lines[0])
+	}
+}
+
+func TestCmdSweepText(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"sweep", "E01", "-quick", "-seed", "3", "-axis", "d=0.02,0.1", "-axis", "steps=100"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 cells
+		t.Fatalf("sweep produced %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "d ") {
+		t.Errorf("sweep header unexpected: %q", lines[0])
+	}
+}
+
+func TestCmdSweepJSON(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"sweep", "e01", "-quick", "-seed", "3", "-format", "json",
+			"-axis", "d=0.02,0.1", "-axis", "steps=100:200:100"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Experiment string                     `json:"experiment"`
+		Point      map[string]json.RawMessage `json:"point"`
+		Values     map[string]json.RawMessage `json:"values"`
+	}
+	if err := json.Unmarshal([]byte(out), &rows); err != nil {
+		t.Fatalf("sweep -format=json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(rows) != 4 { // 2 densities x 2 horizons
+		t.Fatalf("sweep produced %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Experiment != "E01" || len(r.Point) != 2 || len(r.Values) == 0 {
+			t.Errorf("unexpected sweep row: %+v", r)
+		}
+	}
+}
+
+func TestCmdSweepCSV(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"sweep", "E01", "-quick", "-seed", "3", "-format", "csv",
+			"-axis", "d=0.05", "-axis", "steps=100"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sweep CSV has %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "d,steps,") {
+		t.Errorf("sweep CSV header unexpected: %q", lines[0])
 	}
 }
 

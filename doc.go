@@ -35,8 +35,13 @@
 //   - internal/netsize, internal/socialnet — the Section 5.1
 //     network-size application and its synthetic networks.
 //   - internal/experiments — one registered experiment per paper
-//     claim; see DESIGN.md for the index and EXPERIMENTS.md for
+//     claim, declared as data: parameter axes, a cell function that
+//     measures one grid point, and a body that emits a structured
+//     report; see DESIGN.md for the index and EXPERIMENTS.md for
 //     paper-vs-measured results.
+//   - internal/results — the typed results model (Result/Series/Cell
+//     with value, 95% CI, trial count, and unit) every renderer
+//     consumes: text tables (internal/expfmt), JSON, and CSV.
 //
 // Every experiment's Monte Carlo loop runs through the shared
 // parallel trial runner in internal/experiments/runner.go: a
@@ -53,5 +58,8 @@
 //
 // The benchmarks in bench_test.go regenerate every experiment table
 // (a -workers flag selects the trial-runner width); the cmd/antdensity
-// CLI runs them interactively via `run [-workers W]`.
+// CLI runs them interactively via `run [-workers W] [-format
+// text|json|csv]` and executes user-supplied axis cross-products via
+// `sweep <exp-id> -axis name=v1,v2 | name=lo:hi:step`, streaming one
+// typed results row per grid cell through the same runner.
 package antdensity

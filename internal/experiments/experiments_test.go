@@ -44,8 +44,8 @@ func TestRegistryComplete(t *testing.T) {
 		if all[i].ID != id {
 			t.Errorf("All()[%d].ID = %s, want %s", i, all[i].ID, id)
 		}
-		if all[i].Title == "" || all[i].Claim == "" || all[i].Run == nil {
-			t.Errorf("%s is missing title/claim/run", id)
+		if all[i].Title == "" || all[i].Claim == "" || all[i].Body == nil {
+			t.Errorf("%s is missing title/claim/body", id)
 		}
 	}
 	if _, ok := ByID("nope"); ok {

@@ -3,14 +3,27 @@
 // regenerating the corresponding series (the paper is an extended
 // abstract with schematic figures only, so the "tables and figures"
 // to reproduce are the theorem-predicted scalings; see DESIGN.md for
-// the full index). Every experiment prints a table and returns
-// machine-checkable metrics used by the test suite and benchmarks.
+// the full index).
+//
+// Experiments are declarative: each registry entry carries its
+// parameter axes (densities, horizons, grid sizes, policies) as data
+// (Axis), a Cell function that measures one point of that grid, and a
+// Body that produces the full report. Bodies iterate their axes
+// through the generic Grid executor and emit structured output — a
+// results.Result of typed series, metrics, and notes — which the
+// harness renders as text (internal/expfmt), JSON, or CSV. The sweep
+// engine (Experiment.Sweep) executes user-supplied axis cross-products
+// through the same Cell functions and the same parallel trial runner,
+// with no per-experiment code change.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"sort"
+
+	"antdensity/internal/expfmt"
+	"antdensity/internal/results"
 )
 
 // Params configures an experiment run.
@@ -51,12 +64,11 @@ type Outcome struct {
 	Notes []string
 }
 
-// note appends a formatted note and also prints it.
-func (o *Outcome) note(w io.Writer, format string, args ...any) {
-	s := fmt.Sprintf(format, args...)
-	o.Notes = append(o.Notes, s)
-	fmt.Fprintln(w, s)
-}
+// CellFunc measures one point of an experiment's axis grid and returns
+// one typed cell per entry of the experiment's Columns. Cell functions
+// run their trials through the shared parallel runner, so sweep
+// results are bit-identical for every worker count.
+type CellFunc func(p Params, pt Point) ([]results.Cell, error)
 
 // Experiment is a registered reproduction experiment.
 type Experiment struct {
@@ -67,9 +79,54 @@ type Experiment struct {
 	Title string
 	// Claim cites the paper statement being reproduced.
 	Claim string
-	// Run executes the experiment.
-	Run func(p Params) (*Outcome, error)
+	// Axes declare the experiment's parameter grid as data; the Body
+	// iterates them via Grid and the sweep engine overrides them from
+	// the CLI. Nil for experiments without free parameters.
+	Axes []Axis
+	// Columns name the measurements Cell returns, in order.
+	Columns []results.Column
+	// Cell measures one point of Axes' cross-product; nil disables
+	// sweeps for this experiment.
+	Cell CellFunc
+	// Body runs the full experiment, writing tables, metrics, and
+	// notes through rep.
+	Body func(p Params, rep *Report) error
 }
+
+// RunResult executes the experiment and returns its structured result.
+func (e Experiment) RunResult(p Params) (*results.Result, error) {
+	if e.Body == nil {
+		return nil, fmt.Errorf("experiments: %s has no body", e.ID)
+	}
+	rep := &Report{res: &results.Result{
+		ID:    e.ID,
+		Title: e.Title,
+		Claim: e.Claim,
+		Seed:  p.Seed,
+		Quick: p.Quick,
+	}}
+	if err := e.Body(p, rep); err != nil {
+		return nil, err
+	}
+	return rep.res, nil
+}
+
+// Run executes the experiment, renders its tables and notes as text to
+// p.Out, and returns the machine-checkable outcome.
+func (e Experiment) Run(p Params) (*Outcome, error) {
+	res, err := e.RunResult(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := expfmt.RenderResult(p.out(), res); err != nil {
+		return nil, err
+	}
+	return &Outcome{Metrics: res.Metrics, Notes: res.Notes}, nil
+}
+
+// Sweepable reports whether the experiment declares a parameter grid
+// that the sweep engine can execute.
+func (e Experiment) Sweepable() bool { return e.Cell != nil && len(e.Axes) > 0 }
 
 var registry = map[string]Experiment{}
 
@@ -96,6 +153,16 @@ func All() []Experiment {
 func ByID(id string) (Experiment, bool) {
 	e, ok := registry[id]
 	return e, ok
+}
+
+// IDs returns every registered experiment ID in sorted order.
+func IDs() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
 }
 
 // pick returns full unless Quick, in which case quick.

@@ -89,9 +89,24 @@ type ExperimentResult struct {
 	pooled []float64
 }
 
+// runTrial executes one trial, converting a panic into an error: a
+// trial runs on a pool goroutine, where an uncaught panic would kill
+// the whole process — unacceptable for panics reachable from
+// user-supplied sweep axis values (e.g. a negative step count hitting
+// library validation).
+func runTrial(spec TrialSpec, t Trial) (res TrialResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("trial panicked: %v", r)
+		}
+	}()
+	return spec.Run(t)
+}
+
 // RunTrials executes spec's trials on cfg.Workers goroutines and
 // collects the results. The first error (by trial index) aborts the
 // run and is returned wrapped with the spec name and trial index.
+// A panicking trial is reported as an error the same way.
 func RunTrials(spec TrialSpec, cfg RunConfig) (*ExperimentResult, error) {
 	if spec.Run == nil {
 		return nil, fmt.Errorf("experiments: TrialSpec %q has nil Run", spec.Name)
@@ -125,7 +140,7 @@ func RunTrials(spec TrialSpec, cfg RunConfig) (*ExperimentResult, error) {
 				// so deriving substreams concurrently is safe and
 				// yields the same streams in any schedule.
 				sub := base.Split(uint64(i))
-				res, err := spec.Run(Trial{
+				res, err := runTrial(spec, Trial{
 					Index:  i,
 					Seed:   sub.Split(0).Uint64(),
 					Stream: sub.Split(1),

@@ -1,0 +1,65 @@
+package expfmt
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"antdensity/internal/results"
+)
+
+// This file makes expfmt the text renderer over the typed results
+// model: experiments build results.Result values and RenderResult
+// turns them into the fixed-width tables and note lines the harness
+// has always printed. The cell formatting is byte-identical to what
+// experiments produced when they formatted raw values through
+// Table.AddRow, so the golden files lock the refactor.
+
+// RenderResult writes r's series as aligned tables in order, followed
+// by its notes, one per line.
+func RenderResult(w io.Writer, r *results.Result) error {
+	for _, s := range r.Series {
+		if err := RenderSeries(w, s); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintln(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderSeries writes one series as an aligned fixed-width table.
+func RenderSeries(w io.Writer, s *results.Series) error {
+	headers := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		headers[i] = c.Name
+	}
+	tb := NewTable(headers...)
+	for _, row := range s.Rows {
+		cells := make([]any, len(row))
+		for i, c := range row {
+			cells[i] = CellText(c)
+		}
+		tb.AddRow(cells...)
+	}
+	return tb.Render(w)
+}
+
+// CellText renders one results cell exactly as the tables historically
+// formatted the raw value: floats through the compact float format,
+// integers and booleans verbatim, labels as-is.
+func CellText(c results.Cell) string {
+	switch c.Kind {
+	case results.KindFloat:
+		return formatFloat(c.Value)
+	case results.KindInt:
+		return strconv.FormatInt(c.Int, 10)
+	case results.KindBool:
+		return strconv.FormatBool(c.Bool)
+	default:
+		return c.Text
+	}
+}

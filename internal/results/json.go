@@ -1,0 +1,197 @@
+package results
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// This file is the JSON renderer of the results model. The encoding is
+// schema-stable (locked by golden files in internal/expfmt): cells are
+// objects keyed by kind ("v", "int", "str", "bool") with optional
+// "ci95", "n", and "unit" annotations, and non-finite floats are
+// encoded as the strings "NaN", "+Inf", and "-Inf" so a Result always
+// serializes — encoding/json rejects raw non-finite numbers.
+
+// jfloat is a float64 whose JSON form survives non-finite values.
+type jfloat float64
+
+// MarshalJSON encodes finite values as numbers and NaN/±Inf as
+// strings.
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts both the numeric and the string encodings.
+func (f *jfloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = jfloat(math.NaN())
+		case "+Inf", "Inf":
+			*f = jfloat(math.Inf(1))
+		case "-Inf":
+			*f = jfloat(math.Inf(-1))
+		default:
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("results: invalid float %q", s)
+			}
+			*f = jfloat(v)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jfloat(v)
+	return nil
+}
+
+// cellJSON is the wire form of a Cell; exactly one of V/Int/Str/Bool
+// is present, selecting the kind.
+type cellJSON struct {
+	V    *jfloat `json:"v,omitempty"`
+	Int  *int64  `json:"int,omitempty"`
+	Str  *string `json:"str,omitempty"`
+	Bool *bool   `json:"bool,omitempty"`
+	CI95 *jfloat `json:"ci95,omitempty"`
+	N    int     `json:"n,omitempty"`
+	Unit string  `json:"unit,omitempty"`
+}
+
+// MarshalJSON encodes the cell in its kind's wire form.
+func (c Cell) MarshalJSON() ([]byte, error) {
+	w := cellJSON{N: c.N, Unit: c.Unit}
+	switch c.Kind {
+	case KindFloat:
+		v := jfloat(c.Value)
+		w.V = &v
+	case KindInt:
+		i := c.Int
+		w.Int = &i
+	case KindString:
+		s := c.Text
+		w.Str = &s
+	case KindBool:
+		b := c.Bool
+		w.Bool = &b
+	default:
+		return nil, fmt.Errorf("results: cell has unknown kind %d", c.Kind)
+	}
+	if c.HasCI {
+		ci := jfloat(c.CI95)
+		w.CI95 = &ci
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a cell, inferring the kind from the value key
+// present.
+func (c *Cell) UnmarshalJSON(b []byte) error {
+	var w cellJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*c = Cell{N: w.N, Unit: w.Unit}
+	switch {
+	case w.V != nil:
+		c.Kind, c.Value = KindFloat, float64(*w.V)
+	case w.Int != nil:
+		c.Kind, c.Int = KindInt, *w.Int
+	case w.Str != nil:
+		c.Kind, c.Text = KindString, *w.Str
+	case w.Bool != nil:
+		c.Kind, c.Bool = KindBool, *w.Bool
+	default:
+		return fmt.Errorf("results: cell %s has no value key", b)
+	}
+	if w.CI95 != nil {
+		c.CI95, c.HasCI = float64(*w.CI95), true
+	}
+	return nil
+}
+
+// MarshalJSON encodes the metrics with sorted keys and non-finite
+// values as strings.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		key, err := json.Marshal(name)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(key)
+		b.WriteByte(':')
+		val, err := jfloat(m[name]).MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		b.Write(val)
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON decodes the metrics, accepting both encodings of
+// non-finite values.
+func (m *Metrics) UnmarshalJSON(b []byte) error {
+	var raw map[string]jfloat
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	out := make(Metrics, len(raw))
+	for name, v := range raw {
+		out[name] = float64(v)
+	}
+	*m = out
+	return nil
+}
+
+// WriteJSON writes r as indented JSON followed by a newline.
+func WriteJSON(w io.Writer, r *Result) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadJSON decodes one Result from r's JSON form.
+func ReadJSON(r io.Reader) (*Result, error) {
+	dec := json.NewDecoder(r)
+	var out Result
+	if err := dec.Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

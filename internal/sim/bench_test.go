@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"antdensity/internal/rng"
+	"antdensity/internal/socialnet"
 	"antdensity/internal/topology"
 )
 
@@ -68,6 +70,37 @@ func BenchmarkWorldCount(b *testing.B) {
 				}
 			}
 			_ = sink
+		})
+	}
+}
+
+// BenchmarkAdjStep pins the CSR offsets/neighbors kernel's win on a
+// social-network graph: one op is a movement round of 100k random
+// walkers on a 100k-node Barabasi-Albert graph. "bulk" is the
+// production path (RandomWalk.StepMany through (*Adj).RandomSteps);
+// "scalar" forces the per-agent interface path (virtual
+// Degree/Neighbor through topology.RandomStep) the kernel replaced,
+// by clearing the uniform-policy invariant. The two are bit-identical
+// — see TestFastPathBitIdentical and netsize's scalar-reference test.
+func BenchmarkAdjStep(b *testing.B) {
+	g, err := socialnet.BarabasiAlbert(100000, 3, rng.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const agents = 100000
+	for _, variant := range []string{"bulk", "scalar"} {
+		b.Run(fmt.Sprintf("ba-100000/%d/%s", agents, variant), func(b *testing.B) {
+			w := MustWorld(Config{Graph: g, NumAgents: agents, Seed: 1})
+			if variant == "scalar" {
+				for i := 0; i < agents; i++ {
+					w.SetPolicy(i, RandomWalk{})
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
 		})
 	}
 }

@@ -16,8 +16,10 @@ import (
 // untouched and reports false, in which case the caller falls back to
 // scalar stepping. Partial application is forbidden. The built-in
 // policies report true on the arithmetic regular topologies (torus,
-// ring, hypercube, complete graph) and false elsewhere, so switching
-// paths can never change simulation output.
+// ring, hypercube, complete graph) — and, for the uniform random walk
+// and lazy policies, on CSR adjacency graphs via the offsets/neighbors
+// kernel — and false elsewhere, so switching paths can never change
+// simulation output.
 type BulkStepper interface {
 	Policy
 	StepMany(g topology.Graph, pos []int64, streams []rng.Stream) bool
@@ -40,6 +42,8 @@ func (RandomWalk) StepMany(g topology.Graph, pos []int64, streams []rng.Stream) 
 	case *topology.Hypercube:
 		t.RandomSteps(pos, streams)
 	case *topology.Complete:
+		t.RandomSteps(pos, streams)
+	case *topology.Adj:
 		t.RandomSteps(pos, streams)
 	default:
 		return false
@@ -99,6 +103,13 @@ func (l Lazy) StepMany(g topology.Graph, pos []int64, streams []rng.Stream) bool
 			s := &streams[k]
 			if !s.Bernoulli(l.StayProb) {
 				pos[k] = t.NeighborUnchecked(pos[k], s.Intn(deg))
+			}
+		}
+	case *topology.Adj:
+		for k := range pos {
+			s := &streams[k]
+			if !s.Bernoulli(l.StayProb) {
+				pos[k] = t.RandomStepFrom(pos[k], s)
 			}
 		}
 	default:

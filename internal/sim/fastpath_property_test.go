@@ -31,6 +31,20 @@ func TestFastPathBitIdentical(t *testing.T) {
 		}},
 		{name: "hypercube", make: func() topology.Graph { return topology.MustHypercube(6) }},
 		{name: "complete", make: func() topology.Graph { return topology.MustComplete(40) }},
+		{name: "adjacency", make: func() topology.Graph {
+			// An irregular CSR graph: a 40-cycle with chords, so every
+			// node has degree >= 2 and the two-weight biased policy and
+			// drift stay valid on the scalar path.
+			const n = 40
+			edges := make([]topology.Edge, 0, n+n/4)
+			for v := int64(0); v < n; v++ {
+				edges = append(edges, topology.Edge{U: v, V: (v + 1) % n})
+			}
+			for v := int64(0); v < n; v += 4 {
+				edges = append(edges, topology.Edge{U: v, V: (v + n/2) % n})
+			}
+			return topology.MustAdj(n, edges)
+		}},
 	}
 	policies := []struct {
 		name string
@@ -138,6 +152,52 @@ func compareWorlds(t *testing.T, want, got *World, ctx string) {
 				return
 			}
 		}
+	}
+}
+
+// TestAdjBulkHandlesIsolatedAndLoops pins the CSR kernels' degree edge
+// cases inside the simulator: agents pinned on an isolated node must
+// stay put without consuming randomness, and self-loops must behave
+// exactly as on the scalar path, for both CSR bulk policies.
+func TestAdjBulkHandlesIsolatedAndLoops(t *testing.T) {
+	g := topology.MustAdj(5, []topology.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // triangle
+		{U: 2, V: 2}, // self-loop
+		{U: 0, V: 3},
+	}) // node 4 is isolated
+	positions := []int64{0, 1, 2, 3, 4, 4, 2}
+	for _, pl := range []struct {
+		name   string
+		policy Policy
+	}{
+		{name: "randomwalk", policy: RandomWalk{}},
+		{name: "lazy", policy: Lazy{StayProb: 0.3}},
+	} {
+		t.Run(pl.name, func(t *testing.T) {
+			fast := MustWorld(Config{
+				Graph: g, NumAgents: len(positions), Seed: 99,
+				Policy: pl.policy, Positions: positions,
+			})
+			slow := MustWorld(Config{
+				Graph: g, NumAgents: len(positions), Seed: 99,
+				Policy: pl.policy, Positions: positions,
+			})
+			// Per-agent policies pin slow to the scalar stepping path.
+			for i := range positions {
+				slow.SetPolicy(i, pl.policy)
+			}
+			for r := 0; r < 30; r++ {
+				fast.Step()
+				slow.Step()
+				compareWorlds(t, slow, fast, fmt.Sprintf("%s round %d", pl.name, r))
+				if t.Failed() {
+					return
+				}
+				if fast.Pos(4) != 4 || fast.Pos(5) != 4 {
+					t.Fatalf("round %d: agents left the isolated node: %d, %d", r, fast.Pos(4), fast.Pos(5))
+				}
+			}
+		})
 	}
 }
 

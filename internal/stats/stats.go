@@ -224,11 +224,13 @@ func MedianOfMeans(xs []float64, groups int) float64 {
 
 // MeanCI95 returns the 95% normal-approximation confidence-interval
 // half-width of the sample mean, 1.96 * s / sqrt(n) with s the
-// unbiased sample standard deviation. It returns +Inf for fewer than
-// two samples, where the width is undefined.
+// unbiased sample standard deviation. Fewer than two samples carry no
+// spread information, so the half-width is defined as 0 (a zero-width
+// interval) rather than NaN or +Inf — downstream renderers (JSON
+// results, sweep rows) always see a finite number.
 func MeanCI95(xs []float64) float64 {
 	if len(xs) < 2 {
-		return math.Inf(1)
+		return 0
 	}
 	return 1.96 * math.Sqrt(SampleVariance(xs)/float64(len(xs)))
 }

@@ -241,11 +241,14 @@ func TestMeanPropertyShiftInvariance(t *testing.T) {
 }
 
 func TestMeanCI95(t *testing.T) {
-	if ci := MeanCI95(nil); !math.IsInf(ci, 1) {
-		t.Errorf("MeanCI95(nil) = %v, want +Inf", ci)
+	// The n < 2 edge case is a zero-width interval, never NaN or Inf:
+	// structured renderers (JSON results, sweep rows) must always see
+	// a finite number.
+	if ci := MeanCI95(nil); ci != 0 {
+		t.Errorf("MeanCI95(nil) = %v, want 0 (zero-width)", ci)
 	}
-	if ci := MeanCI95([]float64{3}); !math.IsInf(ci, 1) {
-		t.Errorf("MeanCI95(single) = %v, want +Inf", ci)
+	if ci := MeanCI95([]float64{3}); ci != 0 {
+		t.Errorf("MeanCI95(single) = %v, want 0 (zero-width)", ci)
 	}
 	// n samples of {0, 2} alternating: sample variance 4n/(4(n-1)) ->
 	// known closed form; check against direct computation.

@@ -3,11 +3,14 @@ package topology
 import "antdensity/internal/rng"
 
 // This file holds the devirtualized fast-path kernels for the regular
-// topologies. The generic Graph interface costs two or three indirect
-// calls plus node validation per random-walk step; the kernels below
-// let hot loops (internal/sim's BulkStepper policies, Walk/WalkPath,
-// and internal/walk's Monte Carlo estimators) run arithmetic-only
-// inner loops on concrete torus/ring/hypercube/complete types.
+// topologies and the CSR adjacency graph. The generic Graph interface
+// costs two or three indirect calls plus node validation per
+// random-walk step; the kernels below let hot loops (internal/sim's
+// BulkStepper policies, Walk/WalkPath, and internal/walk's Monte Carlo
+// estimators) run arithmetic-only inner loops on concrete
+// torus/ring/hypercube/complete types, and offsets/neighbors array
+// loads on *Adj — so the social-network and expander experiments also
+// leave the virtual Degree/Neighbor path.
 //
 // Every kernel is bit-compatible with the generic path: it consumes
 // exactly the same draws from the same streams, in the same order, as
@@ -37,6 +40,26 @@ func (c *Complete) NeighborUnchecked(v int64, i int) int64 {
 	return int64(i) + 1
 }
 
+// NeighborUnchecked is Neighbor without node or index validation; see
+// (*Torus).NeighborUnchecked. For the CSR adjacency graph it is two
+// array loads.
+func (g *Adj) NeighborUnchecked(v int64, i int) int64 {
+	return g.neighbors[g.offsets[v]+int64(i)]
+}
+
+// RandomStepFrom is RandomStep specialized to the CSR layout, without
+// node validation: one offsets load selects v's neighbor slice, one
+// uniform draw indexes it. Isolated nodes return v and consume no
+// randomness, exactly like RandomStep.
+func (g *Adj) RandomStepFrom(v int64, s *rng.Stream) int64 {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	d := int(hi - lo)
+	if d == 0 {
+		return v
+	}
+	return g.neighbors[lo+int64(s.Intn(d))]
+}
+
 // RandomSteps advances pos[k] by one uniformly random step drawing
 // from streams[k], for every k — the bulk twin of RandomStep with the
 // degree hoisted and neighbor arithmetic inlined.
@@ -54,6 +77,20 @@ func (h *Hypercube) RandomSteps(pos []int64, streams []rng.Stream) {
 	bits := h.bits
 	for k := range pos {
 		pos[k] ^= 1 << uint(streams[k].Intn(bits))
+	}
+}
+
+// RandomSteps advances pos[k] by one uniformly random step drawing
+// from streams[k], for every k; see (*Torus).RandomSteps. This is the
+// CSR offsets/neighbors kernel: per-node degrees come from one
+// subtraction, with no interface dispatch or validation in the loop.
+func (g *Adj) RandomSteps(pos []int64, streams []rng.Stream) {
+	offsets, neighbors := g.offsets, g.neighbors
+	for k := range pos {
+		lo, hi := offsets[pos[k]], offsets[pos[k]+1]
+		if d := int(hi - lo); d > 0 {
+			pos[k] = neighbors[lo+int64(streams[k].Intn(d))]
+		}
 	}
 }
 
@@ -145,6 +182,8 @@ func Stepper(g Graph) func(v int64, s *rng.Stream) int64 {
 			}
 			return j
 		}
+	case *Adj:
+		return t.RandomStepFrom
 	default:
 		return func(v int64, s *rng.Stream) int64 {
 			return RandomStep(g, v, s)

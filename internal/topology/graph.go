@@ -77,6 +77,10 @@ func Walk(g Graph, v int64, m int, s *rng.Stream) int64 {
 		for i := 0; i < m; i++ {
 			v = t.NeighborUnchecked(v, s.Intn(deg))
 		}
+	case *Adj:
+		for i := 0; i < m; i++ {
+			v = t.RandomStepFrom(v, s)
+		}
 	default:
 		for i := 0; i < m; i++ {
 			v = RandomStep(g, v, s)
