@@ -11,6 +11,7 @@
 //	antdensity netsize  [-graph ba|er|ws|torus3] [-nodes N] [-walkers W] [-steps T] [-seed N]
 //	antdensity walk     [-topo torus2d|ring|torus3d|hypercube] [-steps M] [-trials K] [-seed N]
 //	antdensity quorum   [-side L] [-agents N] [-threshold T] [-adaptive] [-max-rounds M] [-seed N]
+//	antdensity serve    [-addr A] [-workers N]
 package main
 
 import (
@@ -65,6 +66,8 @@ func run(args []string) error {
 		return cmdAllocate(args[1:])
 	case "sensors":
 		return cmdSensors(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -84,7 +87,8 @@ func usage() {
   antdensity walk [flags]                  measure re-collision curves
   antdensity quorum [flags]                quorum-sensing decision (Sec. 6.2)
   antdensity allocate [flags]              task-allocation dynamic (Sec. 1)
-  antdensity sensors [flags]               token vs independent sensor sampling`)
+  antdensity sensors [flags]               token vs independent sensor sampling
+  antdensity serve [-addr A] [-workers N]  HTTP service over the v2 Run/Manager API`)
 }
 
 func cmdList() error {

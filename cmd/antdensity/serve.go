@@ -1,0 +1,313 @@
+package main
+
+// The serve subcommand exposes the v2 Run/Manager API over HTTP+JSON:
+//
+//	POST   /v1/runs             submit a run spec        -> {"id": ...}
+//	GET    /v1/runs             list runs with snapshots
+//	GET    /v1/runs/{id}        live anytime snapshot
+//	DELETE /v1/runs/{id}        cancel (idempotent)
+//	GET    /v1/runs/{id}/result structured result (200 when done,
+//	                            202 + snapshot while running,
+//	                            410 + error when canceled/failed)
+//
+// Result payloads are the internal/results typed model — the same
+// schema-stable JSON (non-finite floats as strings, value + CI95 +
+// trial count cells) the experiment CLI emits, so downstream tooling
+// parses experiment tables and service results with one decoder.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"antdensity"
+	"antdensity/internal/results"
+	"antdensity/internal/rng"
+	"antdensity/internal/socialnet"
+)
+
+// cmdServe runs the HTTP service until the process is killed.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "max concurrent runs (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m := antdensity.NewManager(*workers)
+	defer m.Close()
+	fmt.Fprintf(os.Stderr, "antdensity: serving on http://%s (max %d concurrent runs)\n", *addr, m.MaxConcurrent())
+	return http.ListenAndServe(*addr, newServeHandler(m))
+}
+
+// newServeHandler builds the /v1 route table over m (exposed for the
+// smoke test, which mounts it on an httptest server).
+func newServeHandler(m *antdensity.Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		handleList(m, w)
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		withRun(m, w, r, func(mr *antdensity.ManagedRun) {
+			writeJSON(w, http.StatusOK, snapshotResponse(mr))
+		})
+	})
+	mux.HandleFunc("DELETE /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		withRun(m, w, r, func(mr *antdensity.ManagedRun) {
+			mr.Run.Cancel()
+			writeJSON(w, http.StatusOK, snapshotResponse(mr))
+		})
+	})
+	mux.HandleFunc("GET /v1/runs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		withRun(m, w, r, func(mr *antdensity.ManagedRun) {
+			handleResult(w, mr)
+		})
+	})
+	return mux
+}
+
+// runRequest is the POST /v1/runs payload: a JSON rendering of a
+// Spec plus a graph recipe.
+type runRequest struct {
+	Kind  string       `json:"kind"`
+	Graph graphRequest `json:"graph"`
+
+	Agents int    `json:"agents,omitempty"`
+	Rounds int    `json:"rounds"`
+	Seed   uint64 `json:"seed,omitempty"`
+
+	Tagged     int           `json:"tagged,omitempty"`      // tag agents 0..Tagged-1
+	TaggedOnly bool          `json:"tagged_only,omitempty"` // count tagged collisions only
+	Noise      *noiseRequest `json:"noise,omitempty"`
+
+	Threshold  float64 `json:"threshold,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	C1         float64 `json:"c1,omitempty"`
+	PolicySeed uint64  `json:"policy_seed,omitempty"`
+
+	Walkers    int   `json:"walkers,omitempty"`
+	BurnIn     *int  `json:"burn_in,omitempty"` // omitted = auto (spectral)
+	Stationary bool  `json:"stationary,omitempty"`
+	SeedVertex int64 `json:"seed_vertex,omitempty"`
+
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+}
+
+type noiseRequest struct {
+	DetectProb   float64 `json:"detect_prob"`
+	SpuriousProb float64 `json:"spurious_prob"`
+	Seed         uint64  `json:"seed,omitempty"`
+}
+
+// graphRequest names a topology recipe. Kinds: torus2d (side), torus
+// (dims, side), ring (nodes), hypercube (bits), complete (nodes),
+// regular (nodes, degree, seed), ba (nodes, degree, seed), er (nodes,
+// degree, seed), ws (nodes, degree, seed).
+type graphRequest struct {
+	Kind   string `json:"kind"`
+	Side   int64  `json:"side,omitempty"`
+	Dims   int    `json:"dims,omitempty"`
+	Nodes  int64  `json:"nodes,omitempty"`
+	Bits   int    `json:"bits,omitempty"`
+	Degree int    `json:"degree,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+}
+
+// asGraph widens a concrete topology constructor result to the Graph
+// interface without leaking a typed-nil on error.
+func asGraph[G antdensity.Graph](g G, err error) (antdensity.Graph, error) {
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildGraph materializes a graph recipe.
+func buildGraph(gr graphRequest) (antdensity.Graph, error) {
+	switch gr.Kind {
+	case "torus2d":
+		return asGraph(antdensity.NewTorus2D(gr.Side))
+	case "torus":
+		return asGraph(antdensity.NewTorus(gr.Dims, gr.Side))
+	case "ring":
+		return asGraph(antdensity.NewRing(gr.Nodes))
+	case "hypercube":
+		return asGraph(antdensity.NewHypercube(gr.Bits))
+	case "complete":
+		return asGraph(antdensity.NewComplete(gr.Nodes))
+	case "regular":
+		return asGraph(antdensity.NewRandomRegular(gr.Nodes, gr.Degree, gr.Seed))
+	case "ba":
+		return asGraph(socialnet.BarabasiAlbert(gr.Nodes, gr.Degree, rng.New(gr.Seed)))
+	case "er":
+		adj, err := socialnet.ErdosRenyi(gr.Nodes, float64(gr.Degree)/float64(gr.Nodes), rng.New(gr.Seed))
+		if err != nil {
+			return nil, err
+		}
+		return socialnet.Connected(adj), nil
+	case "ws":
+		return asGraph(socialnet.WattsStrogatz(gr.Nodes, gr.Degree, 0.1, rng.New(gr.Seed)))
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q (valid: torus2d, torus, ring, hypercube, complete, regular, ba, er, ws)", gr.Kind)
+	}
+}
+
+// specFromRequest translates the wire request into a Spec.
+func specFromRequest(req runRequest) (*antdensity.Spec, error) {
+	kind, err := antdensity.ParseKind(req.Kind)
+	if err != nil {
+		return nil, err
+	}
+	g, err := buildGraph(req.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	s := antdensity.NewSpec(kind,
+		antdensity.WithGraph(g),
+		antdensity.WithAgents(req.Agents),
+		antdensity.WithSeed(req.Seed),
+		antdensity.WithRounds(req.Rounds),
+	)
+	s.Threshold = req.Threshold
+	if req.Delta != 0 {
+		s.Delta = req.Delta
+	}
+	if req.C1 != 0 {
+		s.C1 = req.C1
+	}
+	s.PolicySeed = req.PolicySeed
+	s.TaggedCount = req.Tagged
+	s.TaggedOnly = req.TaggedOnly
+	if req.Noise != nil {
+		s.Noise = &antdensity.NoiseSpec{
+			DetectProb:   req.Noise.DetectProb,
+			SpuriousProb: req.Noise.SpuriousProb,
+			Seed:         req.Noise.Seed,
+		}
+	}
+	s.Walkers = req.Walkers
+	if req.BurnIn != nil {
+		s.BurnIn = *req.BurnIn
+	}
+	s.Stationary = req.Stationary
+	s.SeedVertex = req.SeedVertex
+	if req.SnapshotEvery != 0 {
+		s.SnapshotEvery = req.SnapshotEvery
+	}
+	return s, nil
+}
+
+// runSnapshot is the wire form of a run's anytime view.
+type runSnapshot struct {
+	ID           string  `json:"id"`
+	Kind         string  `json:"kind"`
+	State        string  `json:"state"`
+	Round        int     `json:"round"`
+	MaxRounds    int     `json:"max_rounds"`
+	Progress     float64 `json:"progress"`
+	NumAgents    int     `json:"num_agents,omitempty"`
+	MeanEstimate float64 `json:"mean_estimate"`
+	Decided      int     `json:"decided,omitempty"`
+	YesVotes     int     `json:"yes_votes,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+func snapshotResponse(mr *antdensity.ManagedRun) runSnapshot {
+	snap := mr.Run.Snapshot()
+	return runSnapshot{
+		ID:           mr.ID,
+		Kind:         mr.Run.Spec().Kind.String(),
+		State:        snap.State.String(),
+		Round:        snap.Round,
+		MaxRounds:    snap.MaxRounds,
+		Progress:     snap.Progress,
+		NumAgents:    snap.NumAgents,
+		MeanEstimate: snap.Mean,
+		Decided:      snap.Decided,
+		YesVotes:     snap.YesVotes,
+		Error:        snap.Err,
+	}
+}
+
+func handleSubmit(m *antdensity.Manager, w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	spec, err := specFromRequest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	mr, err := m.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, snapshotResponse(mr))
+}
+
+func handleList(m *antdensity.Manager, w http.ResponseWriter) {
+	runs := m.Runs()
+	out := make([]runSnapshot, 0, len(runs))
+	for _, mr := range runs {
+		out = append(out, snapshotResponse(mr))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handleResult(w http.ResponseWriter, mr *antdensity.ManagedRun) {
+	switch mr.Run.State() {
+	case antdensity.StateDone:
+		res, err := mr.Run.Result()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		// Stamp the manager id without mutating the run's copy.
+		stamped := *res
+		stamped.ID = mr.ID
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if err := results.WriteJSON(w, &stamped); err != nil {
+			// Headers are gone; nothing more to do than drop the
+			// connection mid-body.
+			return
+		}
+	case antdensity.StateCanceled, antdensity.StateFailed:
+		writeJSON(w, http.StatusGone, snapshotResponse(mr))
+	default:
+		writeJSON(w, http.StatusAccepted, snapshotResponse(mr))
+	}
+}
+
+// withRun resolves {id} and 404s unknown runs.
+func withRun(m *antdensity.Manager, w http.ResponseWriter, r *http.Request, fn func(*antdensity.ManagedRun)) {
+	id := r.PathValue("id")
+	mr, ok := m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run id %q", id))
+		return
+	}
+	fn(mr)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

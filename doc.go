@@ -4,6 +4,32 @@
 // from encounter rates alone; this module implements the paper's
 // model, algorithms, analysis experiments, and applications.
 //
+// The public API (v2) is built around three facade types declared at
+// the package root:
+//
+//   - Spec (spec.go) — a declarative, validated description of one
+//     estimation run: every estimator (density, independent baseline,
+//     property frequency, fixed and adaptive quorum, network size) is
+//     a Kind plus typed config (graph, agents, horizon, noise,
+//     tagging, stopping rule), built with functional options
+//     (DensitySpec, QuorumSpec, ...). Validation errors name the
+//     offending field and its valid range.
+//   - Run (run.go) — a compiled Spec executing on its own goroutine
+//     with context cancellation (cooperative, between rounds, via
+//     sim.RunContext — a cancelled run returns within one round and
+//     leaves its world consistent) and live anytime Snapshots
+//     (current round, per-agent estimates with confidence bands,
+//     progress) readable from any goroutine without blocking the
+//     stepping loop. Results come back typed (Output) and structured
+//     (RunResult, the internal/results model).
+//   - Manager (manager.go) — schedules many concurrent Runs over a
+//     bounded worker pool with fair FIFO admission; `antdensity
+//     serve` exposes it over HTTP+JSON (POST/GET/DELETE /v1/runs,
+//     GET /v1/runs/{id}/result).
+//
+// The v1 one-shot wrappers (EstimateDensity and friends) remain as
+// deprecated shims over Spec/Run, bit-identical for fixed seeds.
+//
 // The implementation lives under internal/:
 //
 //   - internal/core — Algorithm 1 (encounter-rate estimation),

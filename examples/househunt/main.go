@@ -1,5 +1,6 @@
 // Househunt: quorum sensing during nest-site selection (paper
-// Sections 1 and 6.2, after Pratt's Temnothorax studies [Pra05]).
+// Sections 1 and 6.2, after Pratt's Temnothorax studies [Pra05]),
+// through the v2 Spec/Run API.
 //
 // Scout ants assess two candidate nest sites. Site A has attracted a
 // population above the quorum threshold; site B has not. Each scout
@@ -8,11 +9,13 @@
 // decision is the majority of scout votes. Per Section 6.2, scouts
 // size their observation window from the quorum threshold theta — the
 // one quantity they know a priori — rather than from the unknown
-// density.
+// density. Both site assessments run as QuorumSpec runs scheduled
+// concurrently by a Manager.
 //
-// The example also runs the streaming hysteresis detector: a single
-// scout watching the site as its population grows, committing only
-// when its running estimate crosses the threshold.
+// The example also runs the adaptive anytime variant on site A (each
+// scout stops as soon as its confidence band clears theta, usually
+// far earlier than the fixed theta-sized horizon) and the streaming
+// hysteresis detector following a site whose population grows.
 //
 // Run with:
 //
@@ -20,11 +23,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"antdensity"
 	"antdensity/internal/quorum"
 	"antdensity/internal/sim"
+	"antdensity/internal/stats"
 	"antdensity/internal/topology"
 )
 
@@ -40,36 +46,80 @@ func main() {
 	t := quorum.DetectionRounds(threshold, eps, delta, 0.02)
 	fmt.Printf("quorum threshold theta = %.2f; detection window t = %d rounds (sized from theta alone)\n\n", threshold, t)
 
+	// Both sites are assessed concurrently through one Manager.
+	m := antdensity.NewManager(2)
+	defer m.Close()
 	// Site A: population density ~2.3*theta — above quorum.
-	assess("site A (busy)", 68, t)
+	siteA := submit(m, "site A (busy)", 68, t)
 	// Site B: population density ~0.7*theta — below quorum.
-	assess("site B (quiet)", 12, t)
+	siteB := submit(m, "site B (quiet)", 12, t)
+	assess("site A (busy)", 68, siteA)
+	assess("site B (quiet)", 12, siteB)
+
+	fmt.Println()
+	adaptiveScouts()
 
 	fmt.Println()
 	streamingScout()
 }
 
-// assess simulates one nest site with the given number of resident
-// ants plus voting scouts, and prints the colony decision.
-func assess(name string, residents, t int) {
-	nest := topology.MustTorus(2, nestSide)
-	w, err := sim.NewWorld(sim.Config{
-		Graph:     nest,
-		NumAgents: residents + scouts,
-		Seed:      uint64(len(name)) * 7919,
-	})
+// submit queues one site's quorum vote as a v2 run: residents plus
+// voting scouts on the nest torus, with the theta-sized horizon.
+func submit(m *antdensity.Manager, name string, residents, t int) *antdensity.ManagedRun {
+	mr, err := m.Submit(antdensity.QuorumSpec(threshold,
+		antdensity.WithTorus2D(nestSide),
+		antdensity.WithAgents(residents+scouts),
+		antdensity.WithSeed(uint64(len(name))*7919),
+		antdensity.WithRounds(t),
+	))
 	if err != nil {
 		log.Fatal(err)
 	}
-	votes, err := quorum.Decide(w, threshold, t)
+	return mr
+}
+
+// assess collects one site's votes and prints the colony decision.
+func assess(name string, residents int, mr *antdensity.ManagedRun) {
+	out, err := mr.Run.Output()
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Only the scouts (the last `scouts` agents) vote.
-	scoutVotes := votes[residents:]
-	d := w.Density()
+	scoutVotes := out.Votes[residents:]
+	d := float64(residents+scouts-1) / float64(nestSide*nestSide)
 	fmt.Printf("%s: density %.3f (%.1fx theta) -> %d/%d scouts vote quorum; verdict: %v\n",
 		name, d, d/threshold, countTrue(scoutVotes), scouts, quorum.MajorityVote(scoutVotes))
+}
+
+// adaptiveScouts reruns site A with the anytime detector: every scout
+// stops as soon as its band clears theta (Section 6.2's early exit).
+func adaptiveScouts() {
+	run, err := antdensity.AdaptiveQuorumSpec(threshold,
+		antdensity.WithTorus2D(nestSide),
+		antdensity.WithAgents(68+scouts),
+		antdensity.WithSeed(99),
+		antdensity.WithRounds(40000),
+		antdensity.WithConfidence(delta),
+		antdensity.WithBandConstant(0.6),
+	).Start(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := run.Output()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stops := make([]float64, len(out.Anytime.StopRound))
+	yes := 0
+	for i, d := range out.Anytime.Decision {
+		stops[i] = float64(out.Anytime.StopRound[i])
+		if d == +1 {
+			yes++
+		}
+	}
+	fixed := quorum.DetectionRounds(threshold, eps, delta, 0.02)
+	fmt.Printf("adaptive scouts at site A: %d/%d decide quorum; mean stop round %.0f, p90 %.0f (fixed horizon: %d)\n",
+		yes, len(out.Anytime.Decision), stats.Mean(stops), stats.Quantile(stops, 0.9), fixed)
 }
 
 // streamingScout shows the hysteresis detector following a site whose

@@ -1,5 +1,5 @@
 // Netsize: social-network size estimation via colliding random walks
-// (paper Section 5.1).
+// (paper Section 5.1), through the v2 Spec/Run API.
 //
 // We "crawl" a synthetic preferential-attachment network of 20000
 // nodes that is reachable only through link queries from a single
@@ -13,9 +13,12 @@
 //  4. walk t more rounds, counting degree-weighted collisions, and
 //     report |V|-tilde = 1/C (Theorem 27).
 //
-// For comparison we also run the [KLSC14]-style estimator that counts
-// collisions only in the single round after burn-in: with the same
-// walker budget it usually sees no collisions at all.
+// The crawl is declared as a NetworkSizeSpec and executed as a Run;
+// while the walkers burn in and count, the main goroutine polls the
+// run's progress snapshots. For comparison we also run the
+// [KLSC14]-style estimator that counts collisions only in the single
+// round after burn-in: with the same walker budget it usually sees no
+// collisions at all.
 //
 // Run with:
 //
@@ -23,9 +26,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
+	"antdensity"
 	"antdensity/internal/netsize"
 	"antdensity/internal/rng"
 	"antdensity/internal/socialnet"
@@ -47,16 +53,29 @@ func main() {
 	fmt.Printf("measured lambda = %.4f -> burn-in M = %d steps\n", lambda, burn)
 
 	const walkers, steps = 150, 400
-	res, err := netsize.Estimate(network, netsize.Config{
-		Walkers:    walkers,
-		Steps:      steps,
-		BurnIn:     burn,
-		SeedVertex: 0,
-		Seed:       99,
-	})
+	run, err := antdensity.NetworkSizeSpec(
+		antdensity.WithGraph(network),
+		antdensity.WithWalkers(walkers),
+		antdensity.WithRounds(steps),
+		antdensity.WithBurnIn(burn),
+		antdensity.WithSeedVertex(0),
+		antdensity.WithSeed(99),
+	).Start(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Live progress: the snapshot's horizon covers burn-in + counting.
+	for snap := run.Snapshot(); !snap.State.Terminal(); snap = run.Snapshot() {
+		if snap.Round > 0 {
+			fmt.Printf("  crawling: round %4d/%d (%.0f%%)\n", snap.Round, snap.MaxRounds, 100*snap.Progress)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	out, err := run.Output()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := out.NetworkSize
 	fmt.Println()
 	fmt.Printf("Algorithm 2 (multi-round, n=%d, t=%d):\n", walkers, steps)
 	fmt.Printf("  estimated |V|: %.0f (true %d, error %+.1f%%)\n",

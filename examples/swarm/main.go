@@ -1,5 +1,5 @@
 // Swarm: robot-swarm property frequency estimation (paper Section
-// 5.2).
+// 5.2), through the v2 Spec/Run API.
 //
 // A swarm of 400 robots patrols a 100x100 arena. 25% of the robots
 // have completed their task (the "property"). Robots detect the
@@ -8,9 +8,10 @@
 // overall density d, the property density d_P, and the completion
 // frequency f_P = d_P / d — all without any global communication.
 //
-// The example also shows the Section 6.1 robustness scenario: the
-// same computation with imperfect collision sensing (20% of contacts
-// missed) still recovers f_P, because thinning cancels in the ratio.
+// Both scenarios — perfect sensing and the Section 6.1 noise model
+// where 20% of contacts are missed — are declared as PropertySpecs
+// and run concurrently through a Manager; thinning cancels in the
+// ratio, so the noisy run still recovers f_P.
 //
 // Run with:
 //
@@ -22,10 +23,8 @@ import (
 	"log"
 	"math"
 
-	"antdensity/internal/core"
-	"antdensity/internal/sim"
+	"antdensity"
 	"antdensity/internal/stats"
-	"antdensity/internal/topology"
 )
 
 const (
@@ -36,39 +35,45 @@ const (
 )
 
 func main() {
-	arena := topology.MustTorus(2, arenaSide)
+	spec := func(opts ...antdensity.SpecOption) *antdensity.Spec {
+		return antdensity.PropertySpec(append([]antdensity.SpecOption{
+			antdensity.WithTorus2D(arenaSide),
+			antdensity.WithAgents(robots),
+			antdensity.WithSeed(2024),
+			antdensity.WithRounds(rounds),
+			antdensity.WithTaggedCount(completed),
+		}, opts...)...)
+	}
+
+	// Two independent runs share the manager's worker pool.
+	m := antdensity.NewManager(2)
+	defer m.Close()
+	perfect, err := m.Submit(spec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	noisy, err := m.Submit(spec(antdensity.WithSensingNoise(0.8, 0, 7)))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("== perfect sensing ==")
-	report(run(nil))
+	report(output(perfect))
 
 	fmt.Println()
 	fmt.Println("== 20% of contacts missed (Section 6.1 noise model) ==")
-	report(run([]core.Option{core.WithNoise(0.8, 0, 7)}))
-
-	_ = arena
+	report(output(noisy))
 }
 
-func run(opts []core.Option) *core.PropertyResult {
-	arena := topology.MustTorus(2, arenaSide)
-	world, err := sim.NewWorld(sim.Config{
-		Graph:     arena,
-		NumAgents: robots,
-		Seed:      2024,
-	})
+func output(mr *antdensity.ManagedRun) *antdensity.PropertyResult {
+	out, err := mr.Run.Output()
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < completed; i++ {
-		world.SetTagged(i, true)
-	}
-	res, err := core.PropertyFrequency(world, rounds, opts...)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return res
+	return out.Property
 }
 
-func report(res *core.PropertyResult) {
+func report(res *antdensity.PropertyResult) {
 	// Ground truth from an untagged observer's perspective.
 	trueF := float64(completed) / float64(robots-1)
 	var freqs []float64

@@ -1,11 +1,12 @@
 // Topologies: how graph structure shapes encounter-rate density
-// estimation (paper Section 4).
+// estimation (paper Section 4), through the v2 Spec/Run API.
 //
 // The paper's message: what matters is *local* mixing — the rate at
 // which the re-collision probability beta(m) decays — summarized by
-// B(t) = sum_m beta(m). This example runs Algorithm 1 with the same
-// density and round budget on five topologies and prints the measured
-// error alongside the paper's B(t)-based prediction (Lemma 19):
+// B(t) = sum_m beta(m). This example declares one DensitySpec per
+// topology x trial, submits all of them to one Manager (they share
+// its bounded worker pool), and prints the measured error alongside
+// the paper's B(t)-based prediction (Lemma 19):
 //
 //	ring        beta ~ 1/sqrt(m)  B(t) ~ sqrt(t)   worst
 //	2-D torus   beta ~ 1/m        B(t) ~ log t     nearly optimal
@@ -23,9 +24,9 @@ import (
 	"log"
 	"os"
 
+	"antdensity"
 	"antdensity/internal/core"
 	"antdensity/internal/expfmt"
-	"antdensity/internal/sim"
 	"antdensity/internal/stats"
 	"antdensity/internal/topology"
 )
@@ -43,7 +44,7 @@ func main() {
 	}
 	cases := []struct {
 		name   string
-		graph  topology.Graph
+		graph  antdensity.Graph
 		agents int
 		bt     float64
 	}{
@@ -54,25 +55,36 @@ func main() {
 		{name: "complete", graph: topology.MustComplete(4096), agents: 410, bt: 1},
 	}
 
-	tb := expfmt.NewTable("topology", "A", "d", "B(t)", "Lemma 19 eps", "measured mean |rel err|")
-	for _, c := range cases {
-		var errs []float64
-		var d float64
+	// One run per topology x trial, all multiplexed over the manager's
+	// worker pool.
+	m := antdensity.NewManager(0) // GOMAXPROCS workers
+	defer m.Close()
+	runs := make([][]*antdensity.ManagedRun, len(cases))
+	for ci, c := range cases {
 		for trial := 0; trial < trials; trial++ {
-			w, err := sim.NewWorld(sim.Config{
-				Graph:     c.graph,
-				NumAgents: c.agents,
-				Seed:      uint64(1000*trial + len(c.name)),
-			})
+			mr, err := m.Submit(antdensity.DensitySpec(
+				antdensity.WithGraph(c.graph),
+				antdensity.WithAgents(c.agents),
+				antdensity.WithSeed(uint64(1000*trial+len(c.name))),
+				antdensity.WithRounds(rounds),
+			))
 			if err != nil {
 				log.Fatal(err)
 			}
-			ests, err := core.Algorithm1(w, rounds)
+			runs[ci] = append(runs[ci], mr)
+		}
+	}
+
+	tb := expfmt.NewTable("topology", "A", "d", "B(t)", "Lemma 19 eps", "measured mean |rel err|")
+	for ci, c := range cases {
+		d := float64(c.agents-1) / float64(c.graph.NumNodes())
+		var errs []float64
+		for _, mr := range runs[ci] {
+			out, err := mr.Run.Output()
 			if err != nil {
 				log.Fatal(err)
 			}
-			d = w.Density()
-			errs = append(errs, stats.RelErrors(ests, d)...)
+			errs = append(errs, stats.RelErrors(out.Estimates, d)...)
 		}
 		predicted := core.Lemma19Epsilon(rounds, d, delta, c.bt)
 		tb.AddRow(c.name, c.graph.NumNodes(), d, c.bt, predicted, stats.Mean(errs))

@@ -13,6 +13,7 @@
 package netsize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -125,9 +126,24 @@ func (w *Walkers) Step() {
 // bound of Section 5.1.4 (see topology.MixingTime), the walker
 // distribution is within total-variation delta of stationary.
 func (w *Walkers) BurnIn(m int) {
+	_ = w.BurnInContext(context.Background(), m, nil)
+}
+
+// BurnInContext is BurnIn with cooperative cancellation: it checks ctx
+// between steps and returns ctx's error once cancelled, leaving the
+// walkers on a round boundary. onRound, when non-nil, is invoked after
+// every completed step (the facade's progress hook).
+func (w *Walkers) BurnInContext(ctx context.Context, m int, onRound func()) error {
 	for i := 0; i < m; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		w.Step()
+		if onRound != nil {
+			onRound()
+		}
 	}
+	return nil
 }
 
 // scratch returns the reusable per-walker count buffer.
@@ -200,6 +216,14 @@ type Result struct {
 // A zero collision total yields Size = +Inf; callers needing
 // robustness should use MedianOfMeansSize or larger n^2 t.
 func (w *Walkers) EstimateSize(t int, invAvgDegree float64) (*Result, error) {
+	return w.EstimateSizeContext(context.Background(), t, invAvgDegree)
+}
+
+// EstimateSizeContext is EstimateSize with cooperative cancellation
+// (see sim.RunContext) and optional extra observers riding along on
+// the counting run (the facade's snapshot publisher); per the
+// pipeline's determinism invariant they cannot change the estimate.
+func (w *Walkers) EstimateSizeContext(ctx context.Context, t int, invAvgDegree float64, extra ...sim.Observer) (*Result, error) {
 	if t < 1 {
 		return nil, fmt.Errorf("netsize: step count must be >= 1, got %d", t)
 	}
@@ -210,11 +234,14 @@ func (w *Walkers) EstimateSize(t int, invAvgDegree float64) (*Result, error) {
 	// folds the shared bulk count snapshot into the weighted collision
 	// total and charges the round's link queries.
 	var total float64
-	sim.Run(w.world, t, sim.ObserverFunc(func(r *sim.Round) sim.Signal {
+	obs := append([]sim.Observer{sim.ObserverFunc(func(r *sim.Round) sim.Signal {
 		w.queries += int64(w.world.NumAgents())
 		total += w.weightCounts(r.Counts())
 		return sim.Continue
-	}))
+	})}, extra...)
+	if _, err := sim.RunContext(ctx, w.world, t, obs...); err != nil {
+		return nil, err
+	}
 	n := float64(w.world.NumAgents())
 	c := total / (invAvgDegree * n * (n - 1) * float64(t))
 	return &Result{
@@ -263,12 +290,25 @@ type Config struct {
 	// Stationary skips burn-in and samples starts from the stable
 	// distribution directly (the idealized Section 5.1.2 model).
 	Stationary bool
+	// Progress, when non-nil, is invoked after every walker round —
+	// burn-in and collision counting alike — with the number of
+	// completed rounds and the total planned. It is a pure observation
+	// hook (the facade's Run snapshots attach here); the estimate is
+	// unaffected.
+	Progress func(done, total int)
 }
 
 // Estimate runs the full pipeline of Section 5.1 on g: start walkers,
 // burn in (unless stationary), estimate the average degree by
 // Algorithm 3, then the network size by Algorithm 2.
 func Estimate(g topology.Graph, cfg Config) (*Result, error) {
+	return EstimateContext(context.Background(), g, cfg)
+}
+
+// EstimateContext is Estimate with cooperative cancellation: the
+// pipeline checks ctx on every round boundary (burn-in and counting)
+// and returns ctx's error once cancelled.
+func EstimateContext(ctx context.Context, g topology.Graph, cfg Config) (*Result, error) {
 	if cfg.Delta == 0 {
 		cfg.Delta = 0.1
 	}
@@ -283,8 +323,9 @@ func Estimate(g topology.Graph, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	burn := 0
 	if !cfg.Stationary {
-		burn := cfg.BurnIn
+		burn = cfg.BurnIn
 		if burn < 0 {
 			lambda := topology.SpectralGap(g, 300, root.Split(1<<32))
 			// The Section 5.1 analysis requires a connected,
@@ -296,10 +337,25 @@ func Estimate(g topology.Graph, cfg Config) (*Result, error) {
 			}
 			burn = topology.MixingTime(topology.NumEdges(g), lambda, cfg.Delta)
 		}
-		w.BurnIn(burn)
+	}
+	total := burn + cfg.Steps
+	done := 0
+	tick := func() {
+		done++
+		if cfg.Progress != nil {
+			cfg.Progress(done, total)
+		}
+	}
+	if burn > 0 {
+		if err := w.BurnInContext(ctx, burn, tick); err != nil {
+			return nil, err
+		}
 	}
 	inv := w.EstimateAvgDegree()
-	return w.EstimateSize(cfg.Steps, inv)
+	return w.EstimateSizeContext(ctx, cfg.Steps, inv, sim.ObserverFunc(func(r *sim.Round) sim.Signal {
+		tick()
+		return sim.Continue
+	}))
 }
 
 // MedianOfMeansSize amplifies Estimate's constant success probability

@@ -13,6 +13,7 @@
 package quorum
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,18 +33,29 @@ func mustTorus(side int64) *topology.Torus {
 // agent's quorum vote: true iff its density estimate reaches
 // threshold.
 func Decide(w *sim.World, threshold float64, t int, opts ...core.Option) ([]bool, error) {
+	return DecideContext(context.Background(), w, threshold, t, opts...)
+}
+
+// DecideContext is Decide with cooperative cancellation (see
+// sim.RunContext).
+func DecideContext(ctx context.Context, w *sim.World, threshold float64, t int, opts ...core.Option) ([]bool, error) {
 	if threshold <= 0 {
 		return nil, fmt.Errorf("quorum: threshold must be positive, got %v", threshold)
 	}
-	ests, err := core.Algorithm1(w, t, opts...)
+	ests, err := core.Algorithm1Context(ctx, w, t, opts...)
 	if err != nil {
 		return nil, err
 	}
+	return Votes(ests, threshold), nil
+}
+
+// Votes thresholds per-agent density estimates into quorum votes.
+func Votes(ests []float64, threshold float64) []bool {
 	votes := make([]bool, len(ests))
 	for i, e := range ests {
 		votes[i] = e >= threshold
 	}
-	return votes, nil
+	return votes
 }
 
 // DetectionRounds returns a round count sufficient to distinguish
@@ -231,6 +243,7 @@ type AnytimeDetector struct {
 	ests      []*core.StreamingEstimator
 	decision  []int
 	stopRound []int
+	decided   int
 }
 
 // NewAnytimeDetector returns an AnytimeDetector for n agents deciding
@@ -273,6 +286,7 @@ func (a *AnytimeDetector) Observe(r *sim.Round) sim.Signal {
 		if v := est.AboveThreshold(a.threshold, a.delta); v != 0 {
 			a.decision[i] = v
 			a.stopRound[i] = r.Index()
+			a.decided++
 			r.Deactivate(i)
 		}
 	}
@@ -289,6 +303,16 @@ func (a *AnytimeDetector) Decision(i int) int { return a.decision[i] }
 // StopRound returns the round at which agent i decided, or 0 if it is
 // still undecided.
 func (a *AnytimeDetector) StopRound(i int) int { return a.stopRound[i] }
+
+// NumDecided returns the number of agents that have decided so far.
+func (a *AnytimeDetector) NumDecided() int { return a.decided }
+
+// Interval returns agent i's running density estimate and its anytime
+// confidence half-width at the detector's 1-delta level (see
+// core.StreamingEstimator.Interval).
+func (a *AnytimeDetector) Interval(i int) (estimate, half float64) {
+	return a.ests[i].Interval(a.delta)
+}
 
 // AnytimeResult holds the outcome of an AnytimeDecide run.
 type AnytimeResult struct {
@@ -309,17 +333,31 @@ type AnytimeResult struct {
 // (Section 6.2). The world stops stepping once all agents have
 // decided, or after maxRounds.
 func AnytimeDecide(w *sim.World, threshold, delta, c1 float64, maxRounds int) (*AnytimeResult, error) {
-	if maxRounds < 1 {
-		return nil, fmt.Errorf("quorum: maxRounds must be >= 1, got %d", maxRounds)
-	}
 	obs, err := NewAnytimeDetector(w.NumAgents(), threshold, delta, c1)
 	if err != nil {
 		return nil, err
 	}
-	rounds := sim.Run(w, maxRounds, obs)
+	return obs.DecideContext(context.Background(), w, maxRounds)
+}
+
+// DecideContext drives the detector over w for up to maxRounds rounds
+// with cooperative cancellation (see sim.RunContext) and returns the
+// per-agent decisions and stopping rounds. Extra observers ride along
+// on the same run (the facade's snapshot publisher); per the
+// pipeline's determinism invariant they cannot change the decisions.
+// On cancellation ctx's error is returned.
+func (a *AnytimeDetector) DecideContext(ctx context.Context, w *sim.World, maxRounds int, extra ...sim.Observer) (*AnytimeResult, error) {
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("quorum: maxRounds must be >= 1, got %d", maxRounds)
+	}
+	obs := append([]sim.Observer{a}, extra...)
+	rounds, err := sim.RunContext(ctx, w, maxRounds, obs...)
+	if err != nil {
+		return nil, err
+	}
 	res := &AnytimeResult{
-		Decision:  obs.decision,
-		StopRound: obs.stopRound,
+		Decision:  a.decision,
+		StopRound: a.stopRound,
 		Rounds:    rounds,
 	}
 	for i, d := range res.Decision {

@@ -131,7 +131,7 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("sim: Config.Graph is required")
 	}
 	if cfg.NumAgents < 1 {
-		return nil, fmt.Errorf("sim: NumAgents must be >= 1, got %d", cfg.NumAgents)
+		return nil, fmt.Errorf("sim: Config.NumAgents must be >= 1, got %d", cfg.NumAgents)
 	}
 	if cfg.Positions != nil && len(cfg.Positions) != cfg.NumAgents {
 		return nil, fmt.Errorf("sim: Config.Positions has %d entries for %d agents", len(cfg.Positions), cfg.NumAgents)

@@ -1,0 +1,232 @@
+package antdensity
+
+// This file is the v2 API's scheduling layer: a Manager runs many
+// Runs concurrently over a bounded worker pool with fair (strict
+// FIFO) admission — the submission order is the start order, so a
+// burst of heavy runs cannot starve earlier light ones. Each admitted
+// run executes under the manager's context; Close cancels everything
+// and waits.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ManagedRun is a Run registered with a Manager under a stable id.
+type ManagedRun struct {
+	// ID is the manager-assigned identifier ("r000001", ...).
+	ID string
+	// Run is the underlying run; use it for Snapshot/Wait/Output/
+	// Result. Cancel through Manager.Cancel or Run.Cancel — both work.
+	Run *Run
+}
+
+// Manager schedules Runs over a bounded pool of concurrent workers.
+// Construct with NewManager; all methods are safe for concurrent use.
+type Manager struct {
+	limit  int
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	runs   map[string]*ManagedRun
+	order  []string // submission order, for Runs()
+	queue  []*ManagedRun
+	active int
+	seq    int
+	retain int // max terminal runs kept registered
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// DefaultRetention is the default bound on how many finished
+// (terminal) runs a Manager keeps registered; see SetRetention.
+const DefaultRetention = 1024
+
+// NewManager returns a Manager executing at most maxConcurrent runs
+// at once; maxConcurrent < 1 means GOMAXPROCS.
+func NewManager(maxConcurrent int) *Manager {
+	if maxConcurrent < 1 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		limit:  maxConcurrent,
+		ctx:    ctx,
+		cancel: cancel,
+		runs:   make(map[string]*ManagedRun),
+		retain: DefaultRetention,
+	}
+}
+
+// MaxConcurrent returns the worker-pool bound.
+func (m *Manager) MaxConcurrent() int { return m.limit }
+
+// SetRetention bounds how many terminal (done/canceled/failed) runs
+// stay registered: once exceeded, the oldest terminal runs are
+// evicted — their ids stop resolving, but live handles keep working.
+// Pending, queued, and running runs are never evicted. n < 0 keeps
+// every run forever (the pre-retention behavior); the default is
+// DefaultRetention, so a long-lived server does not accumulate every
+// result ever computed.
+func (m *Manager) SetRetention(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retain = n
+	m.evict()
+}
+
+// evict drops the oldest terminal runs beyond the retention bound.
+// Callers hold m.mu.
+func (m *Manager) evict() {
+	if m.retain < 0 {
+		return
+	}
+	terminal := 0
+	for _, id := range m.order {
+		if m.runs[id].Run.State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= m.retain {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		if terminal > m.retain && m.runs[id].Run.State().Terminal() {
+			delete(m.runs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Remove unregisters a terminal run immediately (freeing its retained
+// result), reporting whether the id named one. Non-terminal runs are
+// not removable — cancel first.
+func (m *Manager) Remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mr, ok := m.runs[id]
+	if !ok || !mr.Run.State().Terminal() {
+		return false
+	}
+	delete(m.runs, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Submit compiles the Spec (returning any validation error
+// immediately) and enqueues the resulting Run. Admission is strict
+// FIFO over a bounded worker pool: the run starts as soon as a slot
+// frees up and every earlier submission has started. The returned
+// ManagedRun is live immediately — Snapshot reports "queued" until
+// the run is admitted.
+func (m *Manager) Submit(spec *Spec) (*ManagedRun, error) {
+	run, err := spec.NewRun()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("antdensity: Manager is closed")
+	}
+	m.seq++
+	mr := &ManagedRun{ID: fmt.Sprintf("r%06d", m.seq), Run: run}
+	run.markQueued()
+	m.runs[mr.ID] = mr
+	m.order = append(m.order, mr.ID)
+	m.queue = append(m.queue, mr)
+	m.pump()
+	return mr, nil
+}
+
+// pump admits queued runs while worker slots are free. Callers hold
+// m.mu.
+func (m *Manager) pump() {
+	for m.active < m.limit && len(m.queue) > 0 {
+		mr := m.queue[0]
+		m.queue = m.queue[1:]
+		if err := mr.Run.Start(m.ctx); err != nil {
+			// Cancelled while queued: the run is already terminal.
+			continue
+		}
+		m.active++
+		m.wg.Add(1)
+		go func(mr *ManagedRun) {
+			defer m.wg.Done()
+			<-mr.Run.Done()
+			m.mu.Lock()
+			m.active--
+			m.evict()
+			m.pump()
+			m.mu.Unlock()
+		}(mr)
+	}
+}
+
+// Get returns the run registered under id.
+func (m *Manager) Get(id string) (*ManagedRun, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mr, ok := m.runs[id]
+	return mr, ok
+}
+
+// Runs returns every registered run in submission order.
+func (m *Manager) Runs() []*ManagedRun {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*ManagedRun, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.runs[id])
+	}
+	return out
+}
+
+// Cancel cancels the run registered under id (queued runs finish
+// immediately without executing). It reports whether the id was
+// known.
+func (m *Manager) Cancel(id string) bool {
+	mr, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	mr.Run.Cancel()
+	// A queued run goes terminal right here, with no worker goroutine
+	// to trigger eviction for it.
+	m.mu.Lock()
+	m.evict()
+	m.mu.Unlock()
+	return true
+}
+
+// Close cancels every run — running and queued — refuses further
+// submissions, and waits for all workers to finish.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	queued := m.queue
+	m.queue = nil
+	m.mu.Unlock()
+	m.cancel()
+	for _, mr := range queued {
+		mr.Run.Cancel()
+	}
+	m.wg.Wait()
+}
