@@ -11,7 +11,8 @@
 //	antdensity netsize  [-graph ba|er|ws|torus3] [-nodes N] [-walkers W] [-steps T] [-seed N]
 //	antdensity walk     [-topo torus2d|ring|torus3d|hypercube] [-steps M] [-trials K] [-seed N]
 //	antdensity quorum   [-side L] [-agents N] [-threshold T] [-adaptive] [-max-rounds M] [-seed N]
-//	antdensity serve    [-addr A] [-workers N]
+//	antdensity serve    [-addr A] [-workers N] [-data-dir D] [-queue-limit Q] [-rate R] [-burst B] [-no-cache]
+//	antdensity loadtest [-addr A] [-n N] [-c C] [-dup F] [-out F]
 package main
 
 import (
@@ -68,6 +69,8 @@ func run(args []string) error {
 		return cmdSensors(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "loadtest":
+		return cmdLoadtest(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -88,7 +91,9 @@ func usage() {
   antdensity quorum [flags]                quorum-sensing decision (Sec. 6.2)
   antdensity allocate [flags]              task-allocation dynamic (Sec. 1)
   antdensity sensors [flags]               token vs independent sensor sampling
-  antdensity serve [-addr A] [-workers N]  HTTP service over the v2 Run/Manager API`)
+  antdensity serve [flags]                 HTTP service over the v2 Run/Manager API
+                                           (-data-dir, -queue-limit, -rate, -no-cache)
+  antdensity loadtest [flags]              benchmark the serve API (-n, -c, -dup, -out)`)
 }
 
 func cmdList() error {

@@ -1,0 +1,98 @@
+package main
+
+// Per-client submission rate limiting for `antdensity serve`: a
+// classic token bucket per client key (the connection's source IP).
+// Each bucket holds up to `burst` tokens and refills at `rate`
+// tokens/second; a submission spends one. An empty bucket means 429
+// with a Retry-After telling the client exactly when the next token
+// lands — polite backpressure instead of a queue that melts.
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// bucket is one client's token state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is a keyed token-bucket limiter. Safe for concurrent
+// use.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// maxBuckets bounds the per-client state: past this, full (idle)
+// buckets are swept. A full bucket is indistinguishable from an
+// absent one, so sweeping never changes behavior.
+const maxBuckets = 8192
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty
+// it reports false plus how long until a token is available.
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.sweep(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	// Refill for the elapsed time, capped at the burst.
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// sweep drops buckets that have refilled to full. Callers hold l.mu.
+func (l *rateLimiter) sweep(now time.Time) {
+	for key, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// clientKey buckets requests by source IP (ignoring the ephemeral
+// port, so one client is one bucket across connections).
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

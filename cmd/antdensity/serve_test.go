@@ -8,20 +8,26 @@ import (
 	"strings"
 	"testing"
 	"time"
-
-	"antdensity"
 )
 
 // newTestServer mounts the /v1 routes on an httptest server.
-func newTestServer(t *testing.T) (*httptest.Server, *antdensity.Manager) {
+func newTestServer(t *testing.T) (*httptest.Server, *server) {
+	return newTestServerCfg(t, serveConfig{workers: 2})
+}
+
+// newTestServerCfg is newTestServer with explicit serve knobs.
+func newTestServerCfg(t *testing.T, cfg serveConfig) (*httptest.Server, *server) {
 	t.Helper()
-	m := antdensity.NewManager(2)
-	srv := httptest.NewServer(newServeHandler(m))
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		srv.Close()
-		m.Close()
+		s.close()
 	})
-	return srv, m
+	return srv, s
 }
 
 func postRun(t *testing.T, srv *httptest.Server, body string) runSnapshot {

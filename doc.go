@@ -23,9 +23,16 @@
 //     stepping loop. Results come back typed (Output) and structured
 //     (RunResult, the internal/results model).
 //   - Manager (manager.go) — schedules many concurrent Runs over a
-//     bounded worker pool with fair FIFO admission; `antdensity
-//     serve` exposes it over HTTP+JSON (POST/GET/DELETE /v1/runs,
-//     GET /v1/runs/{id}/result).
+//     bounded worker pool with fair FIFO admission, a bounded queue
+//     (SetQueueLimit / ErrQueueFull), and a result cache keyed by the
+//     Spec's canonical fingerprint (spechash.go, SubmitDeduped):
+//     the stack is deterministic, so an identical (Spec, seed) can be
+//     served from an existing run. `antdensity serve` exposes it over
+//     HTTP+JSON (POST/GET/DELETE /v1/runs, GET /v1/runs/{id}/result,
+//     SSE streaming via GET /v1/runs/{id}/events) with durable runs:
+//     an append-only JSONL journal (internal/journal) replayed on
+//     startup, so completed results survive restarts and interrupted
+//     runs are re-run under their original ids.
 //
 // The v1 one-shot wrappers (EstimateDensity and friends) remain as
 // deprecated shims over Spec/Run, bit-identical for fixed seeds.
@@ -68,6 +75,10 @@
 //   - internal/results — the typed results model (Result/Series/Cell
 //     with value, 95% CI, trial count, and unit) every renderer
 //     consumes: text tables (internal/expfmt), JSON, and CSV.
+//   - internal/journal — the append-only JSONL run journal behind
+//     `antdensity serve -data-dir`: fsync'd submit/terminal records,
+//     torn-tail recovery, and the replay reduction that classifies
+//     runs as completed, canceled, failed, or interrupted.
 //
 // Every experiment's Monte Carlo loop runs through the shared
 // parallel trial runner in internal/experiments/runner.go: a

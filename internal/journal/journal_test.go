@@ -1,0 +1,120 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) (*Journal, []Record, int) {
+	t.Helper()
+	j, recs, skipped, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, recs, skipped
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs, skipped := mustOpen(t, dir)
+	if len(recs) != 0 || skipped != 0 {
+		t.Fatalf("fresh journal replayed %d records, %d skipped", len(recs), skipped)
+	}
+	spec := json.RawMessage(`{"kind":"density","rounds":10}`)
+	result := json.RawMessage(`{"id":"r000001","metrics":{}}`)
+	for _, rec := range []Record{
+		{Type: TypeSubmit, ID: "r000001", Seq: 1, Spec: spec},
+		{Type: TypeSubmit, ID: "r000002", Seq: 2, Spec: spec},
+		{Type: TypeTerminal, ID: "r000001", State: "done", Result: result},
+	} {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeSubmit, ID: "x"}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+
+	j2, recs, skipped := mustOpen(t, dir)
+	defer j2.Close()
+	if len(recs) != 3 || skipped != 0 {
+		t.Fatalf("replay = %d records, %d skipped; want 3, 0", len(recs), skipped)
+	}
+	if recs[0].Time == "" {
+		t.Error("Append did not stamp Time")
+	}
+	entries, maxSeq := Reduce(recs)
+	if len(entries) != 2 || maxSeq != 2 {
+		t.Fatalf("Reduce = %d entries, maxSeq %d; want 2, 2", len(entries), maxSeq)
+	}
+	if entries[0].Interrupted() || entries[0].Terminal.State != "done" ||
+		string(entries[0].Terminal.Result) != string(result) {
+		t.Fatalf("entry 0 = %+v", entries[0])
+	}
+	if !entries[1].Interrupted() {
+		t.Fatalf("entry 1 should be interrupted: %+v", entries[1])
+	}
+
+	// Appending through the reopened journal extends, not truncates.
+	if err := j2.Append(Record{Type: TypeTerminal, ID: "r000002", State: "canceled", Error: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _ = mustOpen(t, dir)
+	if len(recs) != 4 {
+		t.Fatalf("after reopen-append, replay = %d records, want 4", len(recs))
+	}
+}
+
+func TestJournalSkipsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := mustOpen(t, dir)
+	if err := j.Append(Record{Type: TypeSubmit, ID: "r000001", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate a crash mid-append: a torn, newline-less final line.
+	f, err := os.OpenFile(filepath.Join(dir, FileName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"terminal","id":"r0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recs, skipped := mustOpen(t, dir)
+	if len(recs) != 1 || skipped != 1 {
+		t.Fatalf("replay = %d records, %d skipped; want 1 record, 1 skipped", len(recs), skipped)
+	}
+	// The journal stays appendable after the torn line.
+	if err := j2.Append(Record{Type: TypeTerminal, ID: "r000001", State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, recs, skipped = mustOpen(t, dir)
+	entries, _ := Reduce(recs)
+	if len(recs) != 2 || skipped != 1 || len(entries) != 1 || entries[0].Interrupted() {
+		t.Fatalf("post-recovery replay = %d records (%d skipped), entries %+v", len(recs), skipped, entries)
+	}
+}
+
+func TestReduceOrphanAndDuplicateRecords(t *testing.T) {
+	entries, maxSeq := Reduce([]Record{
+		{Type: TypeTerminal, ID: "ghost", State: "done"}, // orphan: dropped
+		{Type: TypeSubmit, ID: "a", Seq: 3},
+		{Type: TypeSubmit, ID: "a", Seq: 4}, // duplicate submit: first wins
+		{Type: TypeTerminal, ID: "a", State: "canceled"},
+		{Type: TypeTerminal, ID: "a", State: "done"}, // last terminal wins
+	})
+	if len(entries) != 1 || maxSeq != 4 {
+		t.Fatalf("Reduce = %d entries, maxSeq %d", len(entries), maxSeq)
+	}
+	if entries[0].Submit.Seq != 3 || entries[0].Terminal == nil || entries[0].Terminal.State != "done" {
+		t.Fatalf("entry = %+v, terminal %+v", entries[0].Submit, entries[0].Terminal)
+	}
+}

@@ -1,0 +1,31 @@
+package topology
+
+import "fmt"
+
+// This file gives the arithmetic topologies a canonical identity
+// string, so a Spec built on one of them is content-addressable (see
+// the root package's Spec.Fingerprint): two graphs with the same
+// GraphID are the same graph, node for node and edge for edge. Adj
+// does not implement GraphID — a finished adjacency structure cannot
+// know the recipe (generator, seed) that produced it; callers that
+// build Adj graphs from a recipe should attach the recipe as the
+// identity themselves (antdensity.IdentifyGraph).
+
+// Identifier is implemented by graphs with a canonical,
+// content-addressable identity.
+type Identifier interface {
+	// GraphID returns a string that uniquely determines the graph's
+	// structure: equal ids mean isomorphic-with-identical-labeling
+	// graphs.
+	GraphID() string
+}
+
+// GraphID identifies the torus by its dimension count and side
+// length, which determine it completely.
+func (t *Torus) GraphID() string { return fmt.Sprintf("torus:dims=%d,side=%d", t.dims, t.side) }
+
+// GraphID identifies the hypercube by its bit count.
+func (h *Hypercube) GraphID() string { return fmt.Sprintf("hypercube:bits=%d", h.bits) }
+
+// GraphID identifies the complete graph by its node count.
+func (c *Complete) GraphID() string { return fmt.Sprintf("complete:nodes=%d", c.nodes) }

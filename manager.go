@@ -9,10 +9,17 @@ package antdensity
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 )
+
+// ErrQueueFull is returned by Submit when the Manager's admission
+// queue is at its SetQueueLimit bound: the service is saturated and
+// the caller should retry later (the serve layer maps this to
+// 429 + Retry-After).
+var ErrQueueFull = errors.New("antdensity: Manager queue is full")
 
 // ManagedRun is a Run registered with a Manager under a stable id.
 type ManagedRun struct {
@@ -21,6 +28,10 @@ type ManagedRun struct {
 	// Run is the underlying run; use it for Snapshot/Wait/Output/
 	// Result. Cancel through Manager.Cancel or Run.Cancel — both work.
 	Run *Run
+
+	// fp is the Spec fingerprint the run was cached under ("" when the
+	// Spec was not fingerprintable or dedup was not requested).
+	fp string
 }
 
 // Manager schedules Runs over a bounded pool of concurrent workers.
@@ -37,8 +48,13 @@ type Manager struct {
 	active int
 	seq    int
 	retain int // max terminal runs kept registered
+	qlimit int // max queued (not yet admitted) runs; 0 = unbounded
 	closed bool
 	wg     sync.WaitGroup
+
+	cache  map[string]string // Spec fingerprint -> run id (SubmitDeduped)
+	hits   uint64
+	misses uint64
 }
 
 // DefaultRetention is the default bound on how many finished
@@ -57,12 +73,40 @@ func NewManager(maxConcurrent int) *Manager {
 		ctx:    ctx,
 		cancel: cancel,
 		runs:   make(map[string]*ManagedRun),
+		cache:  make(map[string]string),
 		retain: DefaultRetention,
 	}
 }
 
 // MaxConcurrent returns the worker-pool bound.
 func (m *Manager) MaxConcurrent() int { return m.limit }
+
+// SetQueueLimit bounds how many submitted runs may wait for a worker
+// slot: once the queue holds n runs, Submit fails with ErrQueueFull
+// instead of growing the backlog without bound. n <= 0 removes the
+// bound (the default).
+func (m *Manager) SetQueueLimit(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.qlimit = n
+}
+
+// QueueDepth returns the number of submitted runs waiting for a
+// worker slot.
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// CacheStats reports how many SubmitDeduped calls were served from
+// the result cache (hits) versus actually executed (misses).
+// Non-fingerprintable Specs count as misses.
+func (m *Manager) CacheStats() (hits, misses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
 
 // SetRetention bounds how many terminal (done/canceled/failed) runs
 // stay registered: once exceeded, the oldest terminal runs are
@@ -95,7 +139,8 @@ func (m *Manager) evict() {
 	}
 	kept := m.order[:0]
 	for _, id := range m.order {
-		if terminal > m.retain && m.runs[id].Run.State().Terminal() {
+		if mr := m.runs[id]; terminal > m.retain && mr.Run.State().Terminal() {
+			m.uncache(mr)
 			delete(m.runs, id)
 			terminal--
 			continue
@@ -103,6 +148,13 @@ func (m *Manager) evict() {
 		kept = append(kept, id)
 	}
 	m.order = kept
+}
+
+// uncache drops a run's result-cache mapping. Callers hold m.mu.
+func (m *Manager) uncache(mr *ManagedRun) {
+	if mr.fp != "" && m.cache[mr.fp] == mr.ID {
+		delete(m.cache, mr.fp)
+	}
 }
 
 // Remove unregisters a terminal run immediately (freeing its retained
@@ -115,6 +167,7 @@ func (m *Manager) Remove(id string) bool {
 	if !ok || !mr.Run.State().Terminal() {
 		return false
 	}
+	m.uncache(mr)
 	delete(m.runs, id)
 	for i, oid := range m.order {
 		if oid == id {
@@ -130,25 +183,113 @@ func (m *Manager) Remove(id string) bool {
 // FIFO over a bounded worker pool: the run starts as soon as a slot
 // frees up and every earlier submission has started. The returned
 // ManagedRun is live immediately — Snapshot reports "queued" until
-// the run is admitted.
+// the run is admitted. When a SetQueueLimit bound is set and reached,
+// Submit fails with ErrQueueFull.
 func (m *Manager) Submit(spec *Spec) (*ManagedRun, error) {
+	mr, _, err := m.submit(spec, "", false)
+	return mr, err
+}
+
+// SubmitDeduped is Submit through the result cache: if an identical
+// Spec (equal Fingerprint) was already submitted and its run is still
+// registered and not canceled/failed, the existing ManagedRun is
+// returned with cached == true and nothing is recomputed — the
+// deterministic stack guarantees the result would be bit-identical.
+// Non-fingerprintable Specs (pre-built World, opaque estimator
+// options, identity-less graph) always execute.
+func (m *Manager) SubmitDeduped(spec *Spec) (*ManagedRun, bool, error) {
+	return m.submit(spec, "", true)
+}
+
+// SubmitWithID is Submit under a caller-chosen id instead of the next
+// "rNNNNNN" sequence id. It exists for durable frontends replaying a
+// journal after restart: an interrupted run is re-submitted under its
+// original id, so clients holding that id keep resolving it. The id
+// must not collide with a registered run.
+func (m *Manager) SubmitWithID(id string, spec *Spec) (*ManagedRun, error) {
+	if id == "" {
+		return nil, fmt.Errorf("antdensity: SubmitWithID needs a non-empty id")
+	}
+	mr, _, err := m.submit(spec, id, false)
+	return mr, err
+}
+
+// SetSeqBase raises the id sequence floor: subsequent Submit calls
+// assign ids after n. Durable frontends call it after a journal
+// replay so fresh ids never collide with journaled ones. It never
+// lowers the sequence.
+func (m *Manager) SetSeqBase(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > m.seq {
+		m.seq = n
+	}
+}
+
+// submit is the shared enqueue path. id == "" assigns the next
+// sequence id; dedup routes through the result cache.
+func (m *Manager) submit(spec *Spec, id string, dedup bool) (*ManagedRun, bool, error) {
+	fp := ""
+	if dedup {
+		if f, ok := spec.Fingerprint(); ok {
+			fp = f
+		}
+	}
+	if fp != "" {
+		if mr, ok := m.cacheLookup(fp); ok {
+			return mr, true, nil
+		}
+	}
 	run, err := spec.NewRun()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return nil, fmt.Errorf("antdensity: Manager is closed")
+		return nil, false, fmt.Errorf("antdensity: Manager is closed")
 	}
-	m.seq++
-	mr := &ManagedRun{ID: fmt.Sprintf("r%06d", m.seq), Run: run}
+	if m.qlimit > 0 && len(m.queue) >= m.qlimit {
+		return nil, false, ErrQueueFull
+	}
+	if id == "" {
+		m.seq++
+		id = fmt.Sprintf("r%06d", m.seq)
+	} else if _, exists := m.runs[id]; exists {
+		return nil, false, fmt.Errorf("antdensity: run id %q is already registered", id)
+	}
+	mr := &ManagedRun{ID: id, Run: run, fp: fp}
 	run.markQueued()
 	m.runs[mr.ID] = mr
 	m.order = append(m.order, mr.ID)
 	m.queue = append(m.queue, mr)
+	if dedup {
+		m.misses++
+		if fp != "" {
+			m.cache[fp] = mr.ID
+		}
+	}
 	m.pump()
-	return mr, nil
+	return mr, false, nil
+}
+
+// cacheLookup resolves a fingerprint to a live cache entry, dropping
+// mappings whose runs were evicted or ended canceled/failed (those
+// must be recomputed).
+func (m *Manager) cacheLookup(fp string) (*ManagedRun, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.cache[fp]
+	if !ok {
+		return nil, false
+	}
+	mr, ok := m.runs[id]
+	if !ok || mr.Run.State() == StateCanceled || mr.Run.State() == StateFailed {
+		delete(m.cache, fp)
+		return nil, false
+	}
+	m.hits++
+	return mr, true
 }
 
 // pump admits queued runs while worker slots are free. Callers hold
@@ -204,8 +345,16 @@ func (m *Manager) Cancel(id string) bool {
 	}
 	mr.Run.Cancel()
 	// A queued run goes terminal right here, with no worker goroutine
-	// to trigger eviction for it.
+	// to trigger eviction for it — and it would otherwise stay pinned
+	// in m.queue until admission reached it, so a cancel-heavy burst
+	// could grow the queue without bound. Compact it out now.
 	m.mu.Lock()
+	for i, qmr := range m.queue {
+		if qmr == mr {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
 	m.evict()
 	m.mu.Unlock()
 	return true

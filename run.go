@@ -131,8 +131,9 @@ type Run struct {
 	numAgents int
 	exec      func(ctx context.Context) (Output, *results.Result, error)
 
-	state atomic.Int32
-	snap  atomic.Pointer[Snapshot]
+	state   atomic.Int32
+	snap    atomic.Pointer[Snapshot]
+	updated atomic.Pointer[chan struct{}]
 
 	mu       sync.Mutex
 	started  bool
@@ -151,6 +152,8 @@ func (s *Spec) NewRun() (*Run, error) {
 		return nil, err
 	}
 	r := &Run{spec: s, done: make(chan struct{})}
+	watch := make(chan struct{})
+	r.updated.Store(&watch)
 	var err error
 	switch s.Kind {
 	case KindNetworkSize:
@@ -242,6 +245,7 @@ func (r *Run) loop(ctx context.Context) {
 		final.Err = err.Error()
 	}
 	r.snap.Store(&final)
+	r.wake()
 	if r.cancelFn != nil {
 		r.cancelFn() // release the context's resources
 	}
@@ -284,6 +288,7 @@ func (r *Run) Cancel() {
 	final.State = StateCanceled
 	final.Err = r.err.Error()
 	r.snap.Store(&final)
+	r.wake()
 	close(r.done)
 	r.mu.Unlock()
 }
@@ -346,10 +351,43 @@ func (r *Run) Result() (*RunResult, error) {
 	return r.result, nil
 }
 
-// publish stores a fresh snapshot (run goroutine only).
+// publish stores a fresh snapshot (run goroutine only) and wakes
+// every Updated watcher.
 func (r *Run) publish(snap Snapshot) {
 	r.snap.Store(&snap)
+	r.wake()
 }
+
+// wake closes the current Updated channel and installs a fresh one —
+// the closed-channel broadcast: every watcher parked on the old
+// channel unblocks and re-reads Snapshot.
+func (r *Run) wake() {
+	fresh := make(chan struct{})
+	old := r.updated.Swap(&fresh)
+	close(*old)
+}
+
+// Updated returns a channel closed the next time the run publishes a
+// snapshot (or reaches a terminal state — see Done for a channel that
+// stays closed). The intended pattern for streaming consumers:
+//
+//	for {
+//	        ch := run.Updated()
+//	        snap := run.Snapshot()
+//	        ... emit snap ...
+//	        if snap.State.Terminal() { return }
+//	        select {
+//	        case <-ch:
+//	        case <-run.Done():
+//	        case <-ctx.Done():
+//	                return
+//	        }
+//	}
+//
+// Reading the channel before the snapshot guarantees no update is
+// missed: a publish after the Snapshot read closes the returned
+// channel.
+func (r *Run) Updated() <-chan struct{} { return *r.updated.Load() }
 
 // measureFn fills a snapshot's kind-specific estimate fields for the
 // given completed-round count.

@@ -153,6 +153,15 @@ type Spec struct {
 	// round. 0 means 1 (publish every round).
 	SnapshotEvery int
 
+	// GraphKey optionally names Graph's canonical identity when the
+	// graph type cannot carry one itself (no GraphIdentity
+	// implementation): callers that build a graph from a recipe set it
+	// to the recipe (kind, parameters, and generator seed), making the
+	// Spec fingerprintable for result caching. Two Specs with the same
+	// GraphKey are asserted to run on identical graphs. Purely
+	// observational — never affects results.
+	GraphKey string
+
 	// graphErr records a deferred error from a graph-building option
 	// (e.g. WithTorus2D with an invalid side); Validate surfaces it.
 	graphErr error
