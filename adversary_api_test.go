@@ -1,0 +1,250 @@
+package antdensity_test
+
+// End-to-end coverage for Spec.Adversary: validation gating, hash
+// sensitivity, run determinism, the adversary-gated metric surface,
+// and the robustness claim itself (median-of-means beats the mean
+// under count inflation) through the public API.
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"antdensity"
+	"antdensity/internal/topology"
+)
+
+// advSpec builds a density spec on the standard 20x20 torus with 41
+// agents and the given adversary configuration.
+func advSpec(kind antdensity.Kind, threshold float64, opts ...antdensity.SpecOption) *antdensity.Spec {
+	base := []antdensity.SpecOption{
+		antdensity.WithGraph(topology.MustTorus(2, 20)),
+		antdensity.WithAgents(41),
+		antdensity.WithSeed(7),
+		antdensity.WithRounds(400),
+	}
+	s := antdensity.NewSpec(kind, append(base, opts...)...)
+	s.Threshold = threshold
+	return s
+}
+
+func TestAdversarySpecValidation(t *testing.T) {
+	g := mustGraph(t)
+	tests := []struct {
+		name string
+		spec *antdensity.Spec
+		want string // error substring; "" means Validate must pass
+	}{
+		{
+			name: "density inflate ok",
+			spec: advSpec(antdensity.KindDensity, 0, antdensity.WithAdversary("inflate", 0.2, 5, 0)),
+		},
+		{
+			name: "property lie ok",
+			spec: advSpec(antdensity.KindProperty, 0,
+				antdensity.WithTaggedCount(8), antdensity.WithAdversary("lie", 0.2, 0, 0)),
+		},
+		{
+			name: "quorum stall ok",
+			spec: advSpec(antdensity.KindQuorum, 0.05, antdensity.WithAdversary("stall", 0.2, 0, 0)),
+		},
+		{
+			name: "adaptive crash ok",
+			spec: advSpec(antdensity.KindQuorumAdaptive, 0.05, antdensity.WithAdversary("crash", 0.1, 0, 0)),
+		},
+		{
+			name: "lie outside property",
+			spec: advSpec(antdensity.KindDensity, 0, antdensity.WithAdversary("lie", 0.2, 0, 0)),
+			want: `"lie"`,
+		},
+		{
+			name: "independent unsupported",
+			spec: antdensity.IndependentSpec(antdensity.WithGraph(g), antdensity.WithAgents(5),
+				antdensity.WithRounds(3), antdensity.WithAdversary("inflate", 0.2, 5, 0)),
+			want: "not supported",
+		},
+		{
+			name: "netsize unsupported",
+			spec: antdensity.NetworkSizeSpec(antdensity.WithGraph(g), antdensity.WithWalkers(4),
+				antdensity.WithRounds(10), antdensity.WithStationary(),
+				antdensity.WithAdversary("inflate", 0.2, 5, 0)),
+			want: "Adversary",
+		},
+		{
+			name: "unknown kind string",
+			spec: advSpec(antdensity.KindDensity, 0, antdensity.WithAdversary("bribe", 0.2, 0, 0)),
+			want: "bribe",
+		},
+		{
+			name: "fraction above one",
+			spec: advSpec(antdensity.KindDensity, 0, antdensity.WithAdversary("inflate", 1.5, 5, 0)),
+			want: "Fraction",
+		},
+		{
+			name: "NaN fraction",
+			spec: advSpec(antdensity.KindDensity, 0, antdensity.WithAdversary("inflate", math.NaN(), 5, 0)),
+			want: "Fraction",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAdversaryFingerprintSensitivity(t *testing.T) {
+	honest := advSpec(antdensity.KindDensity, 0)
+	adv := advSpec(antdensity.KindDensity, 0, antdensity.WithAdversary("inflate", 0.2, 5, 0))
+	hFP, ok := honest.Fingerprint()
+	if !ok {
+		t.Fatal("honest spec has no fingerprint")
+	}
+	aFP, ok := adv.Fingerprint()
+	if !ok {
+		t.Fatal("adversarial spec has no fingerprint")
+	}
+	if hFP == aFP {
+		t.Error("adding an adversary did not change the fingerprint")
+	}
+	// Every adversary field must feed the hash.
+	variants := []*antdensity.Spec{
+		advSpec(antdensity.KindDensity, 0, antdensity.WithAdversary("deflate", 0.2, 5, 0)),
+		advSpec(antdensity.KindDensity, 0, antdensity.WithAdversary("inflate", 0.3, 5, 0)),
+		advSpec(antdensity.KindDensity, 0, antdensity.WithAdversary("inflate", 0.2, 6, 0)),
+		advSpec(antdensity.KindDensity, 0, antdensity.WithAdversary("inflate", 0.2, 5, 99)),
+	}
+	seen := map[string]bool{hFP: true, aFP: true}
+	for i, s := range variants {
+		fp, ok := s.Fingerprint()
+		if !ok {
+			t.Fatalf("variant %d has no fingerprint", i)
+		}
+		if seen[fp] {
+			t.Errorf("variant %d collides with an earlier fingerprint", i)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestAdversaryRunDeterminism(t *testing.T) {
+	mk := func() *antdensity.Spec {
+		return advSpec(antdensity.KindDensity, 0, antdensity.WithAdversary("inflate", 0.2, 5, 0))
+	}
+	a, b := runSpec(t, mk()), runSpec(t, mk())
+	sameFloats(t, "adversarial estimates", a.Estimates, b.Estimates)
+}
+
+// TestAdversaryMetricsSurface checks the adversary-gated metric block:
+// present (and coherent) on adversarial runs, absent on honest ones so
+// pre-existing results stay byte-identical.
+func TestAdversaryMetricsSurface(t *testing.T) {
+	r, err := advSpec(antdensity.KindDensity, 0,
+		antdensity.WithAdversary("inflate", 0.2, 5, 0)).Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{
+		"adversaries", "adversary_fraction",
+		"estimate_mean", "estimate_median", "estimate_trimmed", "estimate_mom",
+		"detect_tpr", "detect_fpr", "detect_flagged",
+	} {
+		if _, ok := res.Metric(m); !ok {
+			t.Errorf("adversarial result missing metric %q", m)
+		}
+	}
+	if n, _ := res.Metric("adversaries"); n != 8 {
+		t.Errorf("adversaries = %v, want 8 (floor(0.2*41))", n)
+	}
+	// The robustness claim through the public API: +5 inflators on 20%
+	// of agents poison the mean; median-of-means stays near d = 0.1025.
+	const d = 41.0 / 400
+	mean, _ := res.Metric("estimate_mean")
+	mom, _ := res.Metric("estimate_mom")
+	if math.Abs(mom-d) >= math.Abs(mean-d) {
+		t.Errorf("median-of-means error %v not below mean error %v", math.Abs(mom-d), math.Abs(mean-d))
+	}
+	if tpr, _ := res.Metric("detect_tpr"); tpr < 0.9 {
+		t.Errorf("detect_tpr = %v, want >= 0.9", tpr)
+	}
+
+	hr, err := advSpec(antdensity.KindDensity, 0).Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := hr.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"adversaries", "estimate_mom", "detect_tpr"} {
+		if _, ok := hres.Metric(m); ok {
+			t.Errorf("honest result unexpectedly has adversary metric %q", m)
+		}
+	}
+}
+
+// TestAdversaryAllKindsRun drives every supported kind end to end
+// with an adversary and checks the kind-shaped output survives.
+func TestAdversaryAllKindsRun(t *testing.T) {
+	t.Run("property lie", func(t *testing.T) {
+		out := runSpec(t, advSpec(antdensity.KindProperty, 0,
+			antdensity.WithTaggedCount(8), antdensity.WithAdversary("lie", 0.2, 0, 0)))
+		if out.Property == nil || len(out.Property.Frequency) != 41 {
+			t.Fatalf("property output = %+v", out.Property)
+		}
+	})
+	t.Run("quorum deflate", func(t *testing.T) {
+		out := runSpec(t, advSpec(antdensity.KindQuorum, 0.05,
+			antdensity.WithAdversary("deflate", 0.2, 0, 0)))
+		if len(out.Votes) != 41 {
+			t.Fatalf("votes = %d", len(out.Votes))
+		}
+	})
+	t.Run("adaptive stall", func(t *testing.T) {
+		out := runSpec(t, advSpec(antdensity.KindQuorumAdaptive, 0.05,
+			antdensity.WithAdversary("stall", 0.2, 0, 0)))
+		if out.Anytime == nil {
+			t.Fatal("anytime output missing")
+		}
+	})
+}
+
+// TestManagerAdversarialRuns pushes adversarial specs through the
+// Manager concurrently (exercised under -race in CI).
+func TestManagerAdversarialRuns(t *testing.T) {
+	m := antdensity.NewManager(4)
+	defer m.Close()
+	kinds := []string{"inflate", "deflate", "random", "stall", "crash"}
+	runs := make([]*antdensity.ManagedRun, 0, len(kinds))
+	for _, k := range kinds {
+		mr, err := m.Submit(advSpec(antdensity.KindDensity, 0,
+			antdensity.WithAdversary(k, 0.2, 0, 0)))
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		runs = append(runs, mr)
+	}
+	for i, mr := range runs {
+		<-mr.Run.Done()
+		if mr.Run.State() != antdensity.StateDone {
+			t.Errorf("%s run state = %v", kinds[i], mr.Run.State())
+		}
+		if _, err := mr.Run.Result(); err != nil {
+			t.Errorf("%s result: %v", kinds[i], err)
+		}
+	}
+}

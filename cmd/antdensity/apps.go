@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"antdensity/internal/adversary"
+	"antdensity/internal/core"
 	"antdensity/internal/expfmt"
 	"antdensity/internal/quorum"
 	"antdensity/internal/rng"
@@ -14,6 +17,47 @@ import (
 	"antdensity/internal/tasks"
 	"antdensity/internal/topology"
 )
+
+// adversaryFlagUsage documents the shared -adversary grammar.
+const adversaryFlagUsage = "adversarial agents as kind:fraction[:param][:seed] (kinds: inflate, deflate, random, stall, crash)"
+
+// parseAdversaryFlag compiles a -adversary flag value for an n-agent
+// run, applying the Spec layer's defaulting conventions: a timed
+// strategy with param 0 triggers at half the horizon (floored at round
+// 1), and seed 0 derives the adversary seed from the run seed. The
+// "lie" strategy needs the tagged stream the collision commands don't
+// drive, so it is rejected here. An empty value means no adversary.
+func parseAdversaryFlag(val string, n, rounds int, runSeed uint64) (*adversary.Tamperer, error) {
+	if val == "" {
+		return nil, nil
+	}
+	cfg, err := adversary.ParseFlag(val)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Kind == adversary.Lie {
+		return nil, fmt.Errorf("adversary kind %q needs a property-frequency run; use the library API or serve with kind \"property\"", adversary.Lie)
+	}
+	if cfg.Kind.Timed() && cfg.Param == 0 {
+		cfg.Param = float64(rounds / 2)
+		if cfg.Param < 1 {
+			cfg.Param = 1
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = runSeed + 0xad5eed
+	}
+	return adversary.New(n, cfg)
+}
+
+// addDetectionRows renders the dishonesty detector's verdicts.
+func addDetectionRows(tb *expfmt.Table, tam *adversary.Tamperer, det *adversary.Detector) {
+	tpr, fpr, flagged := det.Rates(tam.Mask())
+	tb.AddRow("adversarial agents", tam.NumAdversarial())
+	tb.AddRow("detector TPR", tpr)
+	tb.AddRow("detector FPR", fpr)
+	tb.AddRow("flagged agents", flagged)
+}
 
 // cmdQuorum runs a quorum-sensing decision: agents at the given
 // density vote on whether it exceeds the threshold. With -adaptive,
@@ -30,6 +74,7 @@ func cmdQuorum(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	adaptive := fs.Bool("adaptive", false, "anytime mode: per-agent early stopping instead of the fixed theta-sized horizon")
 	maxRounds := fs.Int("max-rounds", 40000, "adaptive-mode round budget")
+	advFlag := fs.String("adversary", "", adversaryFlagUsage)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,11 +87,31 @@ func cmdQuorum(args []string) error {
 	if err != nil {
 		return err
 	}
+	horizon := t
+	if *adaptive {
+		horizon = *maxRounds
+	}
+	tam, err := parseAdversaryFlag(*advFlag, *agents, horizon, *seed)
+	if err != nil {
+		return err
+	}
 	tb := expfmt.NewTable("quantity", "value")
 	tb.AddRow("true density d", w.Density())
 	tb.AddRow("threshold theta", *threshold)
 	if *adaptive {
-		res, err := quorum.AnytimeDecide(w, *threshold, *delta, 0.6, *maxRounds)
+		det, err := quorum.NewAnytimeDetector(*agents, *threshold, *delta, 0.6)
+		if err != nil {
+			return err
+		}
+		var audit *adversary.Detector
+		var extra []sim.Observer
+		if tam != nil {
+			tam.Attach(w)
+			det.SetReportFilter(tam.Filter())
+			audit = adversary.NewDetector(*agents, tam, adversary.DetectorConfig{})
+			extra = append(extra, audit)
+		}
+		res, err := det.DecideContext(context.Background(), w, *maxRounds, extra...)
 		if err != nil {
 			return err
 		}
@@ -68,15 +133,44 @@ func cmdQuorum(args []string) error {
 		tb.AddRow("undecided agents", undecided)
 		tb.AddRow("fraction voting quorum", quorum.VoteFraction(votes))
 		tb.AddRow("majority verdict", quorum.MajorityVote(votes))
+		if tam != nil {
+			ests := make([]float64, *agents)
+			for i := range ests {
+				ests[i], _ = det.Interval(i)
+			}
+			tb.AddRow("trimmed vote fraction", quorum.TrimmedVoteFraction(ests, *threshold, 0.25))
+			tb.AddRow("trimmed majority verdict", quorum.TrimmedMajority(ests, *threshold, 0.25))
+			addDetectionRows(tb, tam, audit)
+		}
 		return tb.Render(os.Stdout)
 	}
-	votes, err := quorum.Decide(w, *threshold, t)
+	if tam == nil {
+		votes, err := quorum.Decide(w, *threshold, t)
+		if err != nil {
+			return err
+		}
+		tb.AddRow("detection rounds t (theta-sized)", t)
+		tb.AddRow("fraction voting quorum", quorum.VoteFraction(votes))
+		tb.AddRow("majority verdict", quorum.MajorityVote(votes))
+		return tb.Render(os.Stdout)
+	}
+	// Drive the counting run directly so the audit detector can ride
+	// the same pipeline as the tampered estimator.
+	tam.Attach(w)
+	obs, err := core.NewCollisionObserver(*agents, core.WithReportFilter(tam.Filter()))
 	if err != nil {
 		return err
 	}
+	audit := adversary.NewDetector(*agents, tam, adversary.DetectorConfig{})
+	sim.Run(w, t, obs, audit)
+	ests := obs.Estimates()
+	votes := quorum.Votes(ests, *threshold)
 	tb.AddRow("detection rounds t (theta-sized)", t)
 	tb.AddRow("fraction voting quorum", quorum.VoteFraction(votes))
 	tb.AddRow("majority verdict", quorum.MajorityVote(votes))
+	tb.AddRow("trimmed vote fraction", quorum.TrimmedVoteFraction(ests, *threshold, 0.25))
+	tb.AddRow("trimmed majority verdict", quorum.TrimmedMajority(ests, *threshold, 0.25))
+	addDetectionRows(tb, tam, audit)
 	return tb.Render(os.Stdout)
 }
 

@@ -23,6 +23,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"antdensity/internal/adversary"
 	"antdensity/internal/core"
 	"antdensity/internal/experiments"
 	"antdensity/internal/expfmt"
@@ -210,6 +211,7 @@ func cmdEstimate(args []string) error {
 	agents := fs.Int("agents", 1001, "number of agents")
 	rounds := fs.Int("rounds", 1000, "rounds of Algorithm 1")
 	seed := fs.Uint64("seed", 1, "random seed")
+	advFlag := fs.String("adversary", "", adversaryFlagUsage)
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the estimation run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -229,9 +231,26 @@ func cmdEstimate(args []string) error {
 	if err != nil {
 		return err
 	}
-	ests, err := core.Algorithm1(w, *rounds)
+	tam, err := parseAdversaryFlag(*advFlag, *agents, *rounds, *seed)
 	if err != nil {
 		return err
+	}
+	var ests []float64
+	var audit *adversary.Detector
+	if tam == nil {
+		ests, err = core.Algorithm1(w, *rounds)
+		if err != nil {
+			return err
+		}
+	} else {
+		tam.Attach(w)
+		obs, err := core.NewCollisionObserver(*agents, core.WithReportFilter(tam.Filter()))
+		if err != nil {
+			return err
+		}
+		audit = adversary.NewDetector(*agents, tam, adversary.DetectorConfig{})
+		sim.Run(w, *rounds, obs, audit)
+		ests = obs.Estimates()
 	}
 	d := w.Density()
 	sum := stats.Summarize(ests)
@@ -244,6 +263,11 @@ func cmdEstimate(args []string) error {
 	tb.AddRow("std", sum.StdDev)
 	tb.AddRow("mean |rel err|", stats.Mean(stats.RelErrors(ests, d)))
 	tb.AddRow("Thm 1 eps (c1=0.35, delta=0.05)", core.TheoremOneEpsilon(*rounds, d, 0.05, 0.35))
+	if tam != nil {
+		tb.AddRow("trimmed mean estimate", stats.AggTrimmed.Aggregate(ests))
+		tb.AddRow("median-of-means estimate", stats.AggMedianOfMeans.Aggregate(ests))
+		addDetectionRows(tb, tam, audit)
+	}
 	return tb.Render(os.Stdout)
 }
 

@@ -248,9 +248,10 @@ type runRequest struct {
 	Rounds int    `json:"rounds"`
 	Seed   uint64 `json:"seed,omitempty"`
 
-	Tagged     int           `json:"tagged,omitempty"`      // tag agents 0..Tagged-1
-	TaggedOnly bool          `json:"tagged_only,omitempty"` // count tagged collisions only
-	Noise      *noiseRequest `json:"noise,omitempty"`
+	Tagged     int               `json:"tagged,omitempty"`      // tag agents 0..Tagged-1
+	TaggedOnly bool              `json:"tagged_only,omitempty"` // count tagged collisions only
+	Noise      *noiseRequest     `json:"noise,omitempty"`
+	Adversary  *adversaryRequest `json:"adversary,omitempty"`
 
 	Threshold  float64 `json:"threshold,omitempty"`
 	Delta      float64 `json:"delta,omitempty"`
@@ -269,6 +270,18 @@ type noiseRequest struct {
 	DetectProb   float64 `json:"detect_prob"`
 	SpuriousProb float64 `json:"spurious_prob"`
 	Seed         uint64  `json:"seed,omitempty"`
+}
+
+// adversaryRequest is the wire form of an AdversarySpec: kind is the
+// fault strategy ("inflate", "deflate", "random", "lie", "stall",
+// "crash"), fraction the adversarial fraction in [0, 1], param the
+// strategy parameter (0 = default), and seed the adversary seed (0 =
+// derived from the run seed).
+type adversaryRequest struct {
+	Kind     string  `json:"kind"`
+	Fraction float64 `json:"fraction"`
+	Param    float64 `json:"param,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
 }
 
 // graphRequest names a topology recipe. Kinds: torus2d (side), torus
@@ -392,6 +405,14 @@ func specFromRequest(req runRequest) (*antdensity.Spec, error) {
 			DetectProb:   req.Noise.DetectProb,
 			SpuriousProb: req.Noise.SpuriousProb,
 			Seed:         req.Noise.Seed,
+		}
+	}
+	if req.Adversary != nil {
+		s.Adversary = &antdensity.AdversarySpec{
+			Kind:     req.Adversary.Kind,
+			Fraction: req.Adversary.Fraction,
+			Param:    req.Adversary.Param,
+			Seed:     req.Adversary.Seed,
 		}
 	}
 	s.Walkers = req.Walkers

@@ -62,7 +62,10 @@ func openRunStore(dir string, s *server) (*runStore, error) {
 	if skipped > 0 {
 		fmt.Fprintf(os.Stderr, "antdensity: journal: skipped %d unparseable line(s)\n", skipped)
 	}
-	entries, maxSeq := journal.Reduce(recs)
+	entries, maxSeq, corrupt := journal.Reduce(recs)
+	if corrupt > 0 {
+		fmt.Fprintf(os.Stderr, "antdensity: journal: skipped %d corrupt record(s)\n", corrupt)
+	}
 	s.m.SetSeqBase(maxSeq)
 	st := &runStore{
 		jr:      jr,

@@ -247,3 +247,61 @@ func TestServeNetsizeRun(t *testing.T) {
 		t.Fatalf("netsize result metrics = %v", res.Metrics)
 	}
 }
+
+// TestServeAdversarialRun submits an adversarial spec over the wire
+// and checks the adversary-gated metric block survives the JSON round
+// trip — plus that a bad adversary block is a 400, not a run.
+func TestServeAdversarialRun(t *testing.T) {
+	srv, _ := newTestServer(t)
+	snap := postRun(t, srv, `{
+		"kind": "density",
+		"graph": {"kind": "torus2d", "side": 20},
+		"agents": 41,
+		"rounds": 300,
+		"seed": 7,
+		"adversary": {"kind": "inflate", "fraction": 0.2, "param": 5}
+	}`)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, srv.URL+"/v1/runs/"+snap.ID, http.StatusOK, &snap)
+		if snap.State == "done" {
+			break
+		}
+		if snap.State == "failed" || snap.State == "canceled" {
+			t.Fatalf("run ended in state %q: %s", snap.State, snap.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("adversarial run never finished: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var res struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	getJSON(t, srv.URL+"/v1/runs/"+snap.ID+"/result", http.StatusOK, &res)
+	if res.Metrics["adversaries"] != 8 {
+		t.Errorf("adversaries metric = %v, want 8", res.Metrics["adversaries"])
+	}
+	for _, m := range []string{"estimate_mean", "estimate_mom", "detect_tpr", "detect_fpr"} {
+		if _, ok := res.Metrics[m]; !ok {
+			t.Errorf("result missing adversary metric %q (got %v)", m, res.Metrics)
+		}
+	}
+
+	// Invalid adversary blocks must be rejected at submit time.
+	for _, body := range []string{
+		`{"kind": "density", "graph": {"kind": "torus2d", "side": 20}, "agents": 41,
+		  "rounds": 300, "adversary": {"kind": "bribe", "fraction": 0.2}}`,
+		`{"kind": "netsize", "graph": {"kind": "torus2d", "side": 20}, "walkers": 4,
+		  "rounds": 30, "stationary": true, "adversary": {"kind": "inflate", "fraction": 0.2}}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad adversary submit = %d, want 400", resp.StatusCode)
+		}
+	}
+}

@@ -77,8 +77,16 @@
 //     consumes: text tables (internal/expfmt), JSON, and CSV.
 //   - internal/journal — the append-only JSONL run journal behind
 //     `antdensity serve -data-dir`: fsync'd submit/terminal records,
-//     torn-tail recovery, and the replay reduction that classifies
-//     runs as completed, canceled, failed, or interrupted.
+//     torn-tail and interior-corruption recovery, and the replay
+//     reduction that classifies runs as completed, canceled, failed,
+//     or interrupted.
+//   - internal/adversary — Byzantine fault injection (Spec.Adversary,
+//     `-adversary kind:fraction[:param][:seed]`): per-agent fault
+//     strategies applied as core report filters over the observation
+//     pipeline, plus the co-location dishonesty detector scored by
+//     TPR/FPR. Robust aggregators (median, trimmed mean,
+//     median-of-means) live in internal/stats; trimmed quorum votes
+//     in internal/quorum; experiments E27-E29 quantify all three.
 //
 // Every experiment's Monte Carlo loop runs through the shared
 // parallel trial runner in internal/experiments/runner.go: a

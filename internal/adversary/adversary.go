@@ -1,0 +1,379 @@
+// Package adversary implements the Byzantine fault model for the
+// estimation stack: a configurable fraction of agents misreport their
+// collision observations, while the simulation itself (who is where,
+// who collides with whom) stays exactly the paper's model. The paper's
+// headline virtue is that encounter-rate estimation is robust; this
+// package is how the repo stresses that claim.
+//
+// The design mirrors the honest stack's layering. Faults are injected
+// as a wrapper over the sim.Observer pipeline, not into the world: a
+// Tamperer compiles an AdversaryConfig into core.ReportFilter values
+// (see core.WithReportFilter) that rewrite the per-agent counts an
+// estimation observer is about to accumulate. The world's stepping and
+// the pipeline's shared zero-allocation snapshots are untouched, so
+// the hot path keeps its cost and the workers=1-vs-N bit-identity
+// invariant keeps holding: all adversary randomness rides per-agent
+// rng substreams keyed off the configured seed (derived from the run
+// seed by callers), never off execution order.
+//
+// Strategies (Kind):
+//
+//   - Inflate / Deflate — count misreporting: the agent adds or
+//     subtracts Param collisions to every round's report.
+//   - Random — the agent reports a uniform count in [0, Param] each
+//     round, drawn from its private substream.
+//   - Lie — property-bit lying (Section 5.2): the agent claims every
+//     encounter was with a tagged agent, driving the reported property
+//     frequency f_P toward 1. Requires the tagged filter.
+//   - Stall — from round Param on, the agent stops moving (Stationary
+//     policy, when the Tamperer is attached to the world) and keeps
+//     reporting the stale count it saw at the stall round.
+//   - Crash — from round Param on, the agent drops out: it reports
+//     zero collisions for the rest of the run.
+//
+// The Detector (detect.go) is the defensive counterpart: it flags
+// dishonest agents from contradictory co-located reports and scores
+// itself as TPR/FPR against the Tamperer's ground-truth mask.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"antdensity/internal/core"
+	"antdensity/internal/rng"
+	"antdensity/internal/sim"
+)
+
+// Kind names a fault strategy.
+type Kind int
+
+const (
+	// Inflate adds Param collisions to every round's reported count.
+	Inflate Kind = iota
+	// Deflate subtracts Param collisions (floored at zero) from every
+	// round's reported count.
+	Deflate
+	// Random reports a uniform count in [0, Param] each round.
+	Random
+	// Lie reports every encounter as tagged (property runs).
+	Lie
+	// Stall freezes the agent at round Param: it stops moving and
+	// keeps reporting its round-Param count forever.
+	Stall
+	// Crash silences the agent from round Param on: it reports zero.
+	Crash
+)
+
+var kindNames = [...]string{"inflate", "deflate", "random", "lie", "stall", "crash"}
+
+// String returns the kind's wire name (the -adversary flag and serve
+// API spelling).
+func (k Kind) String() string {
+	if int(k) >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind resolves a wire name to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("adversary: unknown kind %q (valid: %s)", s, strings.Join(kindNames[:], ", "))
+}
+
+// Timed reports whether the kind's Param is a trigger round (stall and
+// crash) rather than a count magnitude.
+func (k Kind) Timed() bool { return k == Stall || k == Crash }
+
+// defaultParam is the per-kind Param applied when Config.Param is 0.
+// The timed kinds have no sensible horizon-free default, so callers
+// that know the horizon (the Spec layer, the CLI) resolve 0 to half
+// the horizon before building the Tamperer; a bare 0 means round 1.
+func (k Kind) defaultParam() float64 {
+	switch k {
+	case Inflate, Deflate:
+		return 5
+	case Random:
+		return 10
+	case Stall, Crash:
+		return 1
+	}
+	return 0
+}
+
+// Config describes one run's adversary population: which strategy,
+// what fraction of the agents, the strategy parameter, and the seed
+// behind all adversary randomness (agent selection and the Random
+// strategy's draws).
+type Config struct {
+	Kind     Kind
+	Fraction float64 // adversarial fraction f in [0, 1]
+	Param    float64 // strategy parameter; 0 = the kind's default
+	Seed     uint64
+}
+
+// Validate checks the configuration. Like core.WithNoise, it rejects
+// non-finite values explicitly: NaN slips through plain range tests.
+func (c Config) Validate() error {
+	if int(c.Kind) < 0 || int(c.Kind) >= len(kindNames) {
+		return fmt.Errorf("adversary: Kind %d is not a known kind", int(c.Kind))
+	}
+	if math.IsNaN(c.Fraction) || math.IsInf(c.Fraction, 0) || c.Fraction < 0 || c.Fraction > 1 {
+		return fmt.Errorf("adversary: Fraction %v outside [0, 1]", c.Fraction)
+	}
+	if math.IsNaN(c.Param) || math.IsInf(c.Param, 0) || c.Param < 0 {
+		return fmt.Errorf("adversary: Param %v must be finite and >= 0", c.Param)
+	}
+	if c.Kind.Timed() && c.Param != 0 && c.Param != math.Trunc(c.Param) {
+		return fmt.Errorf("adversary: Param %v must be a whole trigger round for kind %q", c.Param, c.Kind)
+	}
+	return nil
+}
+
+// param returns the effective strategy parameter.
+func (c Config) param() float64 {
+	if c.Param == 0 {
+		return c.Kind.defaultParam()
+	}
+	return c.Param
+}
+
+// Tamperer compiles a Config for an n-agent run: it knows which agents
+// are adversarial and rewrites their per-round reports. Build the
+// filters with Filter / TaggedFilter and hand them to the estimator
+// via core.WithReportFilter / core.WithTaggedReportFilter.
+//
+// A Tamperer belongs to exactly one run: its stall/crash state and
+// round memoization are not reusable. It is driven from the pipeline
+// goroutine only and is not safe for concurrent use.
+type Tamperer struct {
+	cfg   Config
+	boost int // rounded count magnitude for inflate/deflate/random
+	at    int // trigger round for stall/crash
+
+	mask    []bool       // mask[i]: agent i is adversarial
+	ids     []int        // adversarial agent ids, ascending
+	streams []rng.Stream // per-adversary substreams, indexed by agent id
+
+	world *sim.World // optional; lets Stall freeze movement
+
+	buf        []int // reported totals, reused every round
+	tbuf       []int // reported tagged counts, reused every round
+	stale      []int // Stall: counts frozen at the trigger round
+	staleSet   bool
+	lastRound  int // memoization: first report() call per round wins
+	lastTagged int
+}
+
+// New compiles cfg for an n-agent run. floor(Fraction*n) agents are
+// adversarial, chosen by a seeded permutation so the population is a
+// deterministic function of (n, Seed) alone — independent of worker
+// count, observer order, and everything else.
+func New(n int, cfg Config) (*Tamperer, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("adversary: agent count must be >= 1, got %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tamperer{
+		cfg:       cfg,
+		boost:     int(math.Round(cfg.param())),
+		mask:      make([]bool, n),
+		buf:       make([]int, n),
+		lastRound: -1, lastTagged: -1,
+	}
+	if cfg.Kind.Timed() {
+		t.at = int(cfg.param())
+		if t.at < 1 {
+			t.at = 1
+		}
+	}
+	base := rng.New(cfg.Seed)
+	k := int(cfg.Fraction * float64(n))
+	for _, id := range base.Split(0).Perm(n)[:k] {
+		t.mask[id] = true
+	}
+	sub := base.Split(1)
+	t.streams = make([]rng.Stream, n)
+	for i := 0; i < n; i++ {
+		if t.mask[i] {
+			t.ids = append(t.ids, i)
+			// Private per-agent substream: draws by one adversary
+			// never shift another's, so results are independent of
+			// which agents exist downstream.
+			t.streams[i] = sub.SplitValue(uint64(i))
+		}
+	}
+	if cfg.Kind == Stall {
+		t.stale = make([]int, n)
+	}
+	return t, nil
+}
+
+// Config returns the compiled configuration.
+func (t *Tamperer) Config() Config { return t.cfg }
+
+// Mask returns the ground-truth adversary mask (mask[i] reports
+// whether agent i is adversarial). The slice is live; treat it as
+// read-only.
+func (t *Tamperer) Mask() []bool { return t.mask }
+
+// NumAdversarial returns the number of adversarial agents.
+func (t *Tamperer) NumAdversarial() int { return len(t.ids) }
+
+// Attach lets the Tamperer act on the world itself where the strategy
+// calls for it: Stall adversaries switch to the Stationary policy at
+// their trigger round, so they physically stop moving in addition to
+// reporting stale counts. Optional — without a world, Stall is
+// reporting-only. This is the one place the estimation stack
+// deliberately influences stepping; the effect is a deterministic
+// function of the round index, so determinism across worker counts is
+// preserved.
+func (t *Tamperer) Attach(w *sim.World) { t.world = w }
+
+// Filter returns the count-report filter covering an estimator's
+// primary stream (total counts, or tagged-only counts under
+// WithTaggedOnly). Pass it to core.WithReportFilter.
+func (t *Tamperer) Filter() core.ReportFilter {
+	return func(round int, counts []int) []int { return t.report(round, counts) }
+}
+
+// TaggedFilter returns the filter covering a PropertyObserver's
+// tagged-count stream. Pass it to core.WithTaggedReportFilter,
+// alongside Filter — the Lie strategy reads the round's reported
+// totals, which the total filter (run first; see the core option's
+// ordering contract) caches.
+func (t *Tamperer) TaggedFilter() core.ReportFilter {
+	return func(round int, counts []int) []int { return t.reportTagged(round, counts) }
+}
+
+// report computes the round's reported totals into t.buf. The first
+// call per round wins; later calls (the Detector auditing the same
+// round) return the memoized reports so random draws and stall
+// captures happen exactly once.
+func (t *Tamperer) report(round int, counts []int) []int {
+	if round == t.lastRound {
+		return t.buf
+	}
+	t.lastRound = round
+	copy(t.buf, counts)
+	switch t.cfg.Kind {
+	case Inflate:
+		for _, i := range t.ids {
+			t.buf[i] += t.boost
+		}
+	case Deflate:
+		for _, i := range t.ids {
+			if t.buf[i] -= t.boost; t.buf[i] < 0 {
+				t.buf[i] = 0
+			}
+		}
+	case Random:
+		for _, i := range t.ids {
+			t.buf[i] = int(t.streams[i].Uint64n(uint64(t.boost) + 1))
+		}
+	case Lie:
+		// Totals are honest; the lying happens on the tagged stream.
+	case Stall:
+		if round >= t.at {
+			if !t.staleSet {
+				t.staleSet = true
+				for _, i := range t.ids {
+					t.stale[i] = t.buf[i]
+				}
+				if t.world != nil {
+					for _, i := range t.ids {
+						t.world.SetPolicy(i, sim.Stationary{})
+					}
+				}
+			}
+			for _, i := range t.ids {
+				t.buf[i] = t.stale[i]
+			}
+		}
+	case Crash:
+		if round >= t.at {
+			for _, i := range t.ids {
+				t.buf[i] = 0
+			}
+		}
+	}
+	return t.buf
+}
+
+// reportTagged computes the round's reported tagged counts into
+// t.tbuf, memoized per round like report.
+func (t *Tamperer) reportTagged(round int, counts []int) []int {
+	if t.tbuf == nil {
+		t.tbuf = make([]int, len(t.mask))
+	}
+	if round == t.lastTagged {
+		return t.tbuf
+	}
+	t.lastTagged = round
+	copy(t.tbuf, counts)
+	if t.cfg.Kind == Lie {
+		// Claim every encounter was tagged. The total filter ran
+		// first this round (core's ordering contract), so t.buf holds
+		// the round's reported totals.
+		if round == t.lastRound {
+			for _, i := range t.ids {
+				t.tbuf[i] = t.buf[i]
+			}
+		}
+		return t.tbuf
+	}
+	// Count strategies tamper the total stream; keep the adversary's
+	// story internally consistent by clamping its tagged report to its
+	// (possibly deflated or crashed) total report.
+	if round == t.lastRound {
+		for _, i := range t.ids {
+			if t.tbuf[i] > t.buf[i] {
+				t.tbuf[i] = t.buf[i]
+			}
+		}
+	}
+	return t.tbuf
+}
+
+// ParseFlag parses the CLI grammar kind:fraction[:param][:seed], e.g.
+// "inflate:0.2", "crash:0.1:500", "random:0.3:10:7". It returns the
+// parsed Config; seed 0 (or omitted) means "derive from the run seed"
+// by the caller's convention.
+func ParseFlag(s string) (Config, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		return Config{}, fmt.Errorf("adversary: flag %q is not kind:fraction[:param][:seed]", s)
+	}
+	kind, err := ParseKind(parts[0])
+	if err != nil {
+		return Config{}, err
+	}
+	frac, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return Config{}, fmt.Errorf("adversary: fraction %q: %w", parts[1], err)
+	}
+	cfg := Config{Kind: kind, Fraction: frac}
+	if len(parts) >= 3 {
+		if cfg.Param, err = strconv.ParseFloat(parts[2], 64); err != nil {
+			return Config{}, fmt.Errorf("adversary: param %q: %w", parts[2], err)
+		}
+	}
+	if len(parts) == 4 {
+		if cfg.Seed, err = strconv.ParseUint(parts[3], 10, 64); err != nil {
+			return Config{}, fmt.Errorf("adversary: seed %q: %w", parts[3], err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,396 @@
+package adversary
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"antdensity/internal/core"
+	"antdensity/internal/sim"
+	"antdensity/internal/stats"
+	"antdensity/internal/topology"
+)
+
+func newWorld(t *testing.T, agents int, seed uint64) *sim.World {
+	t.Helper()
+	w, err := sim.NewWorld(sim.Config{Graph: topology.MustTorus(2, 20), NumAgents: agents, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Inflate, Deflate, Random, Lie, Stall, Crash} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) accepted")
+	}
+}
+
+func TestConfigValidateRejectsNonFinite(t *testing.T) {
+	cases := []Config{
+		{Kind: Inflate, Fraction: math.NaN()},
+		{Kind: Inflate, Fraction: math.Inf(1)},
+		{Kind: Inflate, Fraction: -0.1},
+		{Kind: Inflate, Fraction: 1.1},
+		{Kind: Inflate, Fraction: 0.2, Param: math.NaN()},
+		{Kind: Inflate, Fraction: 0.2, Param: math.Inf(1)},
+		{Kind: Inflate, Fraction: 0.2, Param: -1},
+		{Kind: Crash, Fraction: 0.2, Param: 1.5},
+		{Kind: Kind(99), Fraction: 0.2},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", c)
+		}
+	}
+	if err := (Config{Kind: Stall, Fraction: 0.5, Param: 7}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestParseFlag(t *testing.T) {
+	cfg, err := ParseFlag("inflate:0.2:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != Inflate || cfg.Fraction != 0.2 || cfg.Param != 5 || cfg.Seed != 0 {
+		t.Errorf("ParseFlag = %+v", cfg)
+	}
+	cfg, err = ParseFlag("crash:0.1:500:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != Crash || cfg.Param != 500 || cfg.Seed != 9 {
+		t.Errorf("ParseFlag = %+v", cfg)
+	}
+	for _, bad := range []string{"inflate", "inflate:x", "inflate:0.2:y", "inflate:0.2:5:z:w", "bogus:0.2", "inflate:NaN"} {
+		if _, err := ParseFlag(bad); err == nil {
+			t.Errorf("ParseFlag(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSelectionDeterministicAndSized(t *testing.T) {
+	a, err := New(41, Config{Kind: Inflate, Fraction: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(41, Config{Kind: Inflate, Fraction: 0.2, Seed: 7})
+	if !reflect.DeepEqual(a.Mask(), b.Mask()) {
+		t.Error("same seed chose different adversaries")
+	}
+	if want := 8; a.NumAdversarial() != want {
+		t.Errorf("NumAdversarial = %d, want %d", a.NumAdversarial(), want)
+	}
+	c, _ := New(41, Config{Kind: Inflate, Fraction: 0.2, Seed: 8})
+	if reflect.DeepEqual(a.Mask(), c.Mask()) {
+		t.Error("different seeds chose identical adversaries (vanishingly unlikely)")
+	}
+	z, _ := New(41, Config{Kind: Inflate, Fraction: 0, Seed: 7})
+	if z.NumAdversarial() != 0 {
+		t.Errorf("fraction 0 selected %d adversaries", z.NumAdversarial())
+	}
+}
+
+// TestInflateShiftsOnlyAdversaries runs Algorithm 1 twice on identical
+// worlds — honest vs with inflating adversaries — and checks exactly
+// the adversarial agents' estimates moved, by exactly the boost.
+func TestInflateShiftsOnlyAdversaries(t *testing.T) {
+	const agents, rounds = 41, 300
+	honest, err := core.Algorithm1(newWorld(t, agents, 1), rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tam, err := New(agents, Config{Kind: Inflate, Fraction: 0.2, Param: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := core.Algorithm1(newWorld(t, agents, 1), rounds, core.WithReportFilter(tam.Filter()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range honest {
+		want := honest[i]
+		if tam.Mask()[i] {
+			want += 5 // +5 per round / rounds == +5 on the rate
+		}
+		if math.Abs(adv[i]-want) > 1e-12 {
+			t.Errorf("agent %d: estimate %v, want %v (adversarial=%v)", i, adv[i], want, tam.Mask()[i])
+		}
+	}
+}
+
+func TestCrashZeroesTail(t *testing.T) {
+	const agents, rounds = 41, 200
+	tam, err := New(agents, Config{Kind: Crash, Fraction: 0.2, Param: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := core.NewCollisionObserver(agents, core.WithReportFilter(tam.Filter()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorld(t, agents, 1)
+	sim.Run(w, rounds, obs)
+	// A crashed agent's count is frozen at its pre-crash total; its
+	// estimate decays toward zero. Compare against an honest replay.
+	honest, err := core.CollisionCounts(newWorld(t, agents, 1), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range obs.Counts() {
+		if tam.Mask()[i] && c != honest[i] {
+			t.Errorf("crashed agent %d accumulated %d after the crash round, want frozen %d", i, c, honest[i])
+		}
+	}
+}
+
+func TestStallFreezesReportsAndMovement(t *testing.T) {
+	const agents, rounds = 41, 200
+	tam, err := New(agents, Config{Kind: Stall, Fraction: 0.2, Param: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorld(t, agents, 1)
+	tam.Attach(w)
+	obs, err := core.NewCollisionObserver(agents, core.WithReportFilter(tam.Filter()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posAt50, posAt51 []int64
+	probe := sim.ObserverFunc(func(r *sim.Round) sim.Signal {
+		if r.Index() == 50 || r.Index() == 51 {
+			snap := make([]int64, agents)
+			for i := range snap {
+				snap[i] = r.World().Pos(i)
+			}
+			if r.Index() == 50 {
+				posAt50 = snap
+			} else {
+				posAt51 = snap
+			}
+		}
+		return sim.Continue
+	})
+	sim.Run(w, rounds, obs, probe)
+	for i := range tam.Mask() {
+		if tam.Mask()[i] && posAt50[i] != posAt51[i] {
+			t.Errorf("stalled agent %d moved after the stall round (%d -> %d)", i, posAt50[i], posAt51[i])
+		}
+	}
+	// Reported estimate of a stalled agent: (pre-stall sum + stale *
+	// remaining) / rounds — in particular its count keeps growing by
+	// exactly the stale value each round.
+	moved := false
+	for i := range tam.Mask() {
+		if !tam.Mask()[i] {
+			continue
+		}
+		if obs.Counts()[i]%int64(rounds-50+1) == 0 {
+			continue // stale value may be 0; nothing to check
+		}
+		moved = true
+	}
+	_ = moved
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		tam, err := New(41, Config{Kind: Random, Fraction: 0.3, Param: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests, err := core.Algorithm1(newWorld(t, 41, 1), 100, core.WithReportFilter(tam.Filter()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ests
+	}
+	if !reflect.DeepEqual(run(5), run(5)) {
+		t.Error("same adversary seed produced different estimates")
+	}
+	if reflect.DeepEqual(run(5), run(6)) {
+		t.Error("different adversary seeds produced identical estimates")
+	}
+}
+
+func TestLiePoisonsPropertyFrequency(t *testing.T) {
+	const agents, rounds = 41, 400
+	build := func() (*sim.World, *Tamperer) {
+		w := newWorld(t, agents, 1)
+		for i := 0; i < 8; i++ {
+			w.SetTagged(i, true)
+		}
+		tam, err := New(agents, Config{Kind: Lie, Fraction: 0.2, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w, tam
+	}
+	w, tam := build()
+	obs, err := core.NewPropertyObserver(agents,
+		core.WithReportFilter(tam.Filter()),
+		core.WithTaggedReportFilter(tam.TaggedFilter()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(w, rounds, obs)
+	res := obs.Result()
+	wh, _ := build()
+	hres, err := core.PropertyFrequency(wh, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liarHigher, honestSame := 0, 0
+	for i := 0; i < agents; i++ {
+		if tam.Mask()[i] {
+			// A liar reports every encounter tagged: frequency 1 (or
+			// NaN with no encounters at all).
+			if res.Frequency[i] >= 1 || math.IsNaN(res.Frequency[i]) {
+				liarHigher++
+			}
+		} else if res.Frequency[i] == hres.Frequency[i] ||
+			(math.IsNaN(res.Frequency[i]) && math.IsNaN(hres.Frequency[i])) {
+			honestSame++
+		}
+	}
+	if liarHigher != tam.NumAdversarial() {
+		t.Errorf("only %d/%d liars report frequency 1", liarHigher, tam.NumAdversarial())
+	}
+	if honestSame != agents-tam.NumAdversarial() {
+		t.Errorf("only %d honest agents unchanged", honestSame)
+	}
+}
+
+// TestRobustAggregatorsBeatMeanAtF02 is the package-level version of
+// the E27 acceptance criterion: at f=0.2 count inflation, the robust
+// aggregators' relative error beats the plain mean's.
+func TestRobustAggregatorsBeatMeanAtF02(t *testing.T) {
+	const agents, rounds = 41, 400
+	tam, err := New(agents, Config{Kind: Inflate, Fraction: 0.2, Param: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorld(t, agents, 1)
+	d := w.Density()
+	ests, err := core.Algorithm1(w, rounds, core.WithReportFilter(tam.Filter()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relerr := func(a stats.Aggregator) float64 {
+		return math.Abs(a.Aggregate(ests)/d - 1)
+	}
+	mean := relerr(stats.AggMean)
+	for _, a := range []stats.Aggregator{stats.AggMedian, stats.AggTrimmed, stats.AggMedianOfMeans} {
+		if r := relerr(a); r >= mean {
+			t.Errorf("%v relative error %.3f does not beat mean %.3f", a, r, mean)
+		}
+	}
+}
+
+func TestDetectorFlagsInflators(t *testing.T) {
+	const agents, rounds = 41, 400
+	tam, err := New(agents, Config{Kind: Inflate, Fraction: 0.2, Param: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorld(t, agents, 1)
+	det := NewDetector(agents, tam, DetectorConfig{})
+	sim.Run(w, rounds, det)
+	tpr, fpr, flagged := det.Rates(tam.Mask())
+	if tpr < 0.9 {
+		t.Errorf("TPR %.2f below 0.9 for always-inflating adversaries", tpr)
+	}
+	if fpr > 0.1 {
+		t.Errorf("FPR %.2f above 0.1", fpr)
+	}
+	if flagged == 0 {
+		t.Error("no agents flagged")
+	}
+}
+
+func TestDetectorHonestBaselineNoFlags(t *testing.T) {
+	const agents, rounds = 41, 300
+	det := NewDetector(agents, nil, DetectorConfig{})
+	sim.Run(newWorld(t, agents, 1), rounds, det)
+	truth := make([]bool, agents)
+	_, fpr, flagged := det.Rates(truth)
+	if fpr != 0 || flagged != 0 {
+		t.Errorf("honest run flagged %d agents (FPR %.2f)", flagged, fpr)
+	}
+}
+
+// TestDetectorSharesMemoizedReports checks the estimator-then-detector
+// chain audits exactly what the estimator accumulated: the Random
+// strategy draws once per round, not twice.
+func TestDetectorSharesMemoizedReports(t *testing.T) {
+	const agents, rounds = 41, 100
+	tam, err := New(agents, Config{Kind: Random, Fraction: 0.2, Param: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := core.NewCollisionObserver(agents, core.WithReportFilter(tam.Filter()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(agents, tam, DetectorConfig{})
+	sim.Run(newWorld(t, agents, 1), rounds, obs, det)
+	// Replay without the detector: the estimator's accumulated counts
+	// must be identical — the detector's audit consumed no randomness.
+	tam2, _ := New(agents, Config{Kind: Random, Fraction: 0.2, Param: 10, Seed: 5})
+	obs2, _ := core.NewCollisionObserver(agents, core.WithReportFilter(tam2.Filter()))
+	sim.Run(newWorld(t, agents, 1), rounds, obs2)
+	if !reflect.DeepEqual(obs.Counts(), obs2.Counts()) {
+		t.Error("detector changed the estimator's accumulated counts")
+	}
+}
+
+// TestConcurrentAdversarialRuns exercises the observer layer under the
+// race detector: independent adversarial runs on separate worlds must
+// not share any state.
+func TestConcurrentAdversarialRuns(t *testing.T) {
+	const agents, rounds, workers = 41, 150, 8
+	results := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tam, err := New(agents, Config{Kind: Inflate, Fraction: 0.2, Param: 5, Seed: 7})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			w, err := sim.NewWorld(sim.Config{Graph: topology.MustTorus(2, 20), NumAgents: agents, Seed: 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tam.Attach(w)
+			obs, err := core.NewCollisionObserver(agents, core.WithReportFilter(tam.Filter()))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			det := NewDetector(agents, tam, DetectorConfig{})
+			sim.Run(w, rounds, obs, det)
+			results[g] = obs.Estimates()
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < workers; g++ {
+		if !reflect.DeepEqual(results[0], results[g]) {
+			t.Fatalf("goroutine %d produced different estimates", g)
+		}
+	}
+}

@@ -29,10 +29,22 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"antdensity/internal/rng"
 	"antdensity/internal/sim"
 )
+
+// ReportFilter rewrites one round's per-agent reported counts before
+// an estimator accumulates them — the injection point for the
+// adversary layer (internal/adversary): honest agents' entries pass
+// through, Byzantine agents' entries are replaced with whatever their
+// fault strategy dictates. The filter must not mutate counts (it is
+// the pipeline's shared snapshot or the observer's noise buffer);
+// implementations return their own reusable buffer, keeping the hot
+// path allocation-free in steady state. round is the 1-based round
+// index (sim.Round.Index).
+type ReportFilter func(round int, counts []int) []int
 
 // options collects optional behaviour for the estimators.
 type options struct {
@@ -41,6 +53,8 @@ type options struct {
 	spuriousProb float64
 	noiseSeed    uint64
 	noisy        bool
+	filter       ReportFilter
+	taggedFilter ReportFilter
 }
 
 func defaultOptions() options {
@@ -66,16 +80,53 @@ func WithTaggedOnly() Option {
 // probability spuriousProb. seed drives the noise randomness.
 func WithNoise(detectProb, spuriousProb float64, seed uint64) Option {
 	return func(o *options) error {
-		if detectProb < 0 || detectProb > 1 {
+		// The explicit NaN checks matter: NaN < 0 and NaN > 1 are both
+		// false, so a plain range test would accept NaN and poison
+		// every Binomial/Bernoulli draw in perturb.
+		if math.IsNaN(detectProb) || detectProb < 0 || detectProb > 1 {
 			return fmt.Errorf("core: detectProb %v outside [0, 1]", detectProb)
 		}
-		if spuriousProb < 0 || spuriousProb > 1 {
+		if math.IsNaN(spuriousProb) || spuriousProb < 0 || spuriousProb > 1 {
 			return fmt.Errorf("core: spuriousProb %v outside [0, 1]", spuriousProb)
 		}
 		o.detectProb = detectProb
 		o.spuriousProb = spuriousProb
 		o.noiseSeed = seed
 		o.noisy = true
+		return nil
+	}
+}
+
+// WithReportFilter interposes f between the pipeline's shared count
+// snapshots and the estimator's accumulation: each round the observer
+// feeds f the counts it is about to accumulate (the sensing-noise
+// model, when enabled, has already been applied — tampering happens at
+// reporting time) and accumulates f's output instead. The adversary
+// layer (internal/adversary) builds its fault strategies as report
+// filters; honest runs never pay for the hook.
+func WithReportFilter(f ReportFilter) Option {
+	return func(o *options) error {
+		if f == nil {
+			return fmt.Errorf("core: WithReportFilter needs a non-nil filter")
+		}
+		o.filter = f
+		return nil
+	}
+}
+
+// WithTaggedReportFilter interposes f over the tagged-count stream of
+// a PropertyObserver (the property-bit channel of Section 5.2), the
+// same way WithReportFilter covers the total-count stream. Within a
+// round the total filter runs first — adversary implementations rely
+// on that order to keep an agent's tagged report consistent with its
+// total report. CollisionObserver ignores it (its single stream —
+// tagged-only or total — is covered by WithReportFilter).
+func WithTaggedReportFilter(f ReportFilter) Option {
+	return func(o *options) error {
+		if f == nil {
+			return fmt.Errorf("core: WithTaggedReportFilter needs a non-nil filter")
+		}
+		o.taggedFilter = f
 		return nil
 	}
 }
@@ -89,6 +140,7 @@ func WithNoise(detectProb, spuriousProb float64, seed uint64) Option {
 type CollisionObserver struct {
 	o      options
 	noise  *rng.Stream
+	buf    []int // noise scratch, allocated once; nil for exact sensing
 	counts []int64
 	rounds int
 }
@@ -105,6 +157,7 @@ func NewCollisionObserver(n int, opts ...Option) (*CollisionObserver, error) {
 	co := &CollisionObserver{o: o, counts: make([]int64, n)}
 	if o.noisy {
 		co.noise = rng.New(o.noiseSeed)
+		co.buf = make([]int, n)
 	}
 	return co, nil
 }
@@ -119,12 +172,15 @@ func (co *CollisionObserver) Observe(r *sim.Round) sim.Signal {
 	}
 	if co.o.noisy {
 		for i, c := range cs {
-			co.counts[i] += int64(perturb(c, co.o, co.noise))
+			co.buf[i] = perturb(c, co.o, co.noise)
 		}
-	} else {
-		for i, c := range cs {
-			co.counts[i] += int64(c)
-		}
+		cs = co.buf
+	}
+	if co.o.filter != nil {
+		cs = co.o.filter(r.Index(), cs)
+	}
+	for i, c := range cs {
+		co.counts[i] += int64(c)
 	}
 	co.rounds++
 	return sim.Continue
@@ -233,11 +289,13 @@ type PropertyResult struct {
 // computation: each round it accumulates, per agent, both the total
 // and the tagged collision counts from the shared snapshots.
 type PropertyObserver struct {
-	o      options
-	noise  *rng.Stream
-	total  []int64
-	tagged []int64
-	rounds int
+	o         options
+	noise     *rng.Stream
+	totalBuf  []int // noise scratch, allocated once; nil for exact sensing
+	taggedBuf []int
+	total     []int64
+	tagged    []int64
+	rounds    int
 }
 
 // NewPropertyObserver returns a PropertyObserver for n agents.
@@ -251,6 +309,8 @@ func NewPropertyObserver(n int, opts ...Option) (*PropertyObserver, error) {
 	po := &PropertyObserver{o: o, total: make([]int64, n), tagged: make([]int64, n)}
 	if o.noisy {
 		po.noise = rng.New(o.noiseSeed)
+		po.totalBuf = make([]int, n)
+		po.taggedBuf = make([]int, n)
 	}
 	return po, nil
 }
@@ -259,18 +319,28 @@ func NewPropertyObserver(n int, opts ...Option) (*PropertyObserver, error) {
 func (po *PropertyObserver) Observe(r *sim.Round) sim.Signal {
 	cts := r.Counts()
 	cps := r.TaggedCounts()
-	for i := range cts {
-		ct, cp := cts[i], cps[i]
-		if po.o.noisy {
+	if po.o.noisy {
+		for i := range cts {
 			// Perturb the non-tagged and tagged components
 			// separately so the two counters see consistent noise.
-			other := perturb(ct-cp, po.o, po.noise)
-			prop := perturb(cp, po.o, po.noise)
-			ct = other + prop
-			cp = prop
+			other := perturb(cts[i]-cps[i], po.o, po.noise)
+			prop := perturb(cps[i], po.o, po.noise)
+			po.totalBuf[i] = other + prop
+			po.taggedBuf[i] = prop
 		}
-		po.total[i] += int64(ct)
-		po.tagged[i] += int64(cp)
+		cts, cps = po.totalBuf, po.taggedBuf
+	}
+	// Total filter before tagged filter — the documented order
+	// WithTaggedReportFilter implementations may rely on.
+	if po.o.filter != nil {
+		cts = po.o.filter(r.Index(), cts)
+	}
+	if po.o.taggedFilter != nil {
+		cps = po.o.taggedFilter(r.Index(), cps)
+	}
+	for i := range cts {
+		po.total[i] += int64(cts[i])
+		po.tagged[i] += int64(cps[i])
 	}
 	po.rounds++
 	return sim.Continue

@@ -125,6 +125,79 @@ func TestWithNoiseValidation(t *testing.T) {
 	}
 }
 
+// TestWithNoiseRejectsNonFinite pins the NaN fix: NaN compares false
+// against every bound, so `p < 0 || p > 1` quietly accepted NaN
+// probabilities and poisoned every downstream Bernoulli draw.
+func TestWithNoiseRejectsNonFinite(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 2, Seed: 1})
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name             string
+		detect, spurious float64
+	}{
+		{"nan detect", nan, 0},
+		{"nan spurious", 1, nan},
+		{"both nan", nan, nan},
+		{"+inf detect", inf, 0},
+		{"-inf detect", -inf, 0},
+		{"+inf spurious", 1, inf},
+		{"-inf spurious", 1, -inf},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Algorithm1(w, 10, WithNoise(tc.detect, tc.spurious, 1)); err == nil {
+				t.Errorf("WithNoise(%v, %v) accepted", tc.detect, tc.spurious)
+			}
+		})
+	}
+	// The boundary values stay valid.
+	for _, pq := range [][2]float64{{0, 0}, {1, 1}, {1, 0}, {0, 1}} {
+		if _, err := Algorithm1(w, 10, WithNoise(pq[0], pq[1], 1)); err != nil {
+			t.Errorf("WithNoise(%v, %v) rejected: %v", pq[0], pq[1], err)
+		}
+	}
+}
+
+// TestReportFilterOrdering pins the filter contract the adversary
+// layer relies on: the filter sees noise-perturbed counts, and in a
+// property run the total filter runs before the tagged filter each
+// round.
+func TestReportFilterOrdering(t *testing.T) {
+	g := topology.MustTorus(2, 10)
+	w := sim.MustWorld(sim.Config{Graph: g, NumAgents: 5, Seed: 1})
+	w.SetTagged(0, true)
+	var calls []string
+	total := func(round int, counts []int) []int {
+		calls = append(calls, "total")
+		return counts
+	}
+	tagged := func(round int, counts []int) []int {
+		calls = append(calls, "tagged")
+		return counts
+	}
+	obs, err := NewPropertyObserver(5, WithReportFilter(total), WithTaggedReportFilter(tagged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(w, 3, obs)
+	want := []string{"total", "tagged", "total", "tagged", "total", "tagged"}
+	if len(calls) != len(want) {
+		t.Fatalf("filter calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("filter calls = %v, want %v", calls, want)
+		}
+	}
+	if _, err := NewCollisionObserver(3, WithReportFilter(nil)); err == nil {
+		t.Error("nil report filter accepted")
+	}
+	if _, err := NewPropertyObserver(3, WithTaggedReportFilter(nil)); err == nil {
+		t.Error("nil tagged report filter accepted")
+	}
+}
+
 func TestWithTaggedOnlyCountsOnlyTagged(t *testing.T) {
 	// Tag half the population; the tagged-only estimate should be
 	// about half the full estimate.

@@ -35,6 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09",
 		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
 		"E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26",
+		"E27", "E28", "E29",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -344,6 +345,67 @@ func TestE26AnytimeQuorumQuick(t *testing.T) {
 	}
 	if sv := metric(t, out, "saving_4"); sv <= 1 {
 		t.Errorf("rounds saved vs fixed horizon at 4x theta = %v, want > 1", sv)
+	}
+}
+
+func TestE27RobustAggregationQuick(t *testing.T) {
+	out := runQuick(t, "E27")
+	// With no adversaries every aggregator is near-exact.
+	if e := metric(t, out, "relerr_mean_0"); e > 0.2 {
+		t.Errorf("honest mean rel err = %v, want <= 0.2", e)
+	}
+	// The acceptance criterion: at f = 0.2, median-of-means beats the
+	// plain mean — and not marginally, the mean is poisoned by ~f*boost.
+	mean, mom := metric(t, out, "relerr_mean_0.2"), metric(t, out, "relerr_mom_0.2")
+	if mom >= mean {
+		t.Errorf("at f=0.2 median-of-means rel err %v not below mean rel err %v", mom, mean)
+	}
+	if mean < 1 {
+		t.Errorf("at f=0.2 mean rel err = %v; +%d inflators on 20%% of agents should poison it past 1", mean, advBoost)
+	}
+	if mom > 0.5 {
+		t.Errorf("at f=0.2 median-of-means rel err = %v, want <= 0.5", mom)
+	}
+	if med := metric(t, out, "relerr_median_0.2"); med > 0.5 {
+		t.Errorf("at f=0.2 median rel err = %v, want <= 0.5", med)
+	}
+}
+
+func TestE28StrategyComparisonQuick(t *testing.T) {
+	out := runQuick(t, "E28")
+	d := 41.0 / 400
+	// Inflate poisons the mean upward; median-of-means shrugs it off.
+	if m := metric(t, out, "mean_inflate"); m < 2*d {
+		t.Errorf("mean under inflate = %v, want >= %v", m, 2*d)
+	}
+	if m := metric(t, out, "mom_inflate"); m > 2*d {
+		t.Errorf("median-of-means under inflate = %v, want <= %v", m, 2*d)
+	}
+	// Honest d = 0.1025 > theta = 0.08: the trimmed vote must stay a
+	// clear yes under every strategy; the plain vote loses the
+	// deflators/crashers.
+	for _, s := range []string{"inflate", "deflate", "random", "stall", "crash"} {
+		if tv := metric(t, out, "trimvote_"+s); tv < 0.75 {
+			t.Errorf("trimmed vote fraction under %s = %v, want >= 0.75", s, tv)
+		}
+	}
+	if vf, tv := metric(t, out, "votefrac_deflate"), metric(t, out, "trimvote_deflate"); vf >= tv {
+		t.Errorf("plain vote under deflate (%v) not below trimmed vote (%v)", vf, tv)
+	}
+}
+
+func TestE29DetectionQuick(t *testing.T) {
+	out := runQuick(t, "E29")
+	// Inflators contradict every honest cellmate: near-perfect recall
+	// at low f, and honest agents stay mostly unflagged.
+	if tpr := metric(t, out, "tpr_0.2"); tpr < 0.9 {
+		t.Errorf("TPR at f=0.2 = %v, want >= 0.9", tpr)
+	}
+	if fpr := metric(t, out, "fpr_0.2"); fpr > 0.15 {
+		t.Errorf("FPR at f=0.2 = %v, want <= 0.15", fpr)
+	}
+	if lo, hi := metric(t, out, "fpr_0.1"), metric(t, out, "fpr_0.4"); lo > hi {
+		t.Errorf("FPR at f=0.1 (%v) above f=0.4 (%v); liar-dominated cells should hurt, not help", lo, hi)
 	}
 }
 

@@ -14,8 +14,10 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -63,7 +65,10 @@ const FileName = "runs.jsonl"
 // Open opens (creating if needed) the journal under dir, replays the
 // existing records, and returns the journal positioned for appends.
 // Unparseable lines — a torn final line from a crash mid-append, or
-// hand-edited damage — are skipped; skipped reports how many.
+// hand-edited damage anywhere in the file — are skipped; skipped
+// reports how many. A bad interior line never aborts the replay: the
+// healthy suffix after it is still recovered. (Records that parse but
+// are semantically broken are Reduce's Corrupt counter instead.)
 func Open(dir string) (j *Journal, recs []Record, skipped int, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, 0, fmt.Errorf("journal: %w", err)
@@ -73,25 +78,31 @@ func Open(dir string) (j *Journal, recs []Record, skipped int, err error) {
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("journal: %w", err)
 	}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	// bufio.Reader, not Scanner: a Scanner aborts the whole replay with
+	// ErrTooLong when damage glues lines together past its buffer cap,
+	// throwing away every healthy record after it. ReadBytes has no
+	// line-length ceiling, so an oversized wreck is just one more
+	// skipped line.
+	rd := bufio.NewReaderSize(f, 64*1024)
+	for {
+		line, rerr := rd.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				skipped++
+			} else {
+				recs = append(recs, rec)
+			}
 		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Type == "" || rec.ID == "" {
-			skipped++
-			continue
+		if rerr == io.EOF {
+			break
 		}
-		recs = append(recs, rec)
+		if rerr != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("journal: reading %s: %w", path, rerr)
+		}
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, nil, 0, fmt.Errorf("journal: reading %s: %w", path, err)
-	}
-	// Position at the end for appends (Scanner may have over-read).
+	// Position at the end for appends (the reader may have over-read).
 	end, err := f.Seek(0, 2)
 	if err != nil {
 		f.Close()
@@ -171,9 +182,19 @@ func (e *Entry) Interrupted() bool { return e.Terminal == nil }
 // and reports the highest sequence number seen (the id floor for new
 // submissions). Terminal records without a submit record are dropped;
 // when a run has several terminal records the last one wins.
-func Reduce(recs []Record) (entries []*Entry, maxSeq int) {
+//
+// Corrupt counts records that parsed as JSON but are semantically
+// broken — an unknown Type or a missing ID (Append never writes
+// either, so they mean on-disk damage that still decodes). They are
+// skipped, never folded; callers surface the count so silent damage
+// is visible.
+func Reduce(recs []Record) (entries []*Entry, maxSeq, corrupt int) {
 	byID := make(map[string]*Entry)
 	for _, rec := range recs {
+		if rec.ID == "" || (rec.Type != TypeSubmit && rec.Type != TypeTerminal) {
+			corrupt++
+			continue
+		}
 		if rec.Seq > maxSeq {
 			maxSeq = rec.Seq
 		}
@@ -192,5 +213,5 @@ func Reduce(recs []Record) (entries []*Entry, maxSeq int) {
 			}
 		}
 	}
-	return entries, maxSeq
+	return entries, maxSeq, corrupt
 }

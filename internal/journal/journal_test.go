@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -48,8 +49,8 @@ func TestJournalRoundTrip(t *testing.T) {
 	if recs[0].Time == "" {
 		t.Error("Append did not stamp Time")
 	}
-	entries, maxSeq := Reduce(recs)
-	if len(entries) != 2 || maxSeq != 2 {
+	entries, maxSeq, corrupt := Reduce(recs)
+	if len(entries) != 2 || maxSeq != 2 || corrupt != 0 {
 		t.Fatalf("Reduce = %d entries, maxSeq %d; want 2, 2", len(entries), maxSeq)
 	}
 	if entries[0].Interrupted() || entries[0].Terminal.State != "done" ||
@@ -97,22 +98,106 @@ func TestJournalSkipsTornTail(t *testing.T) {
 	}
 	j2.Close()
 	_, recs, skipped = mustOpen(t, dir)
-	entries, _ := Reduce(recs)
+	entries, _, _ := Reduce(recs)
 	if len(recs) != 2 || skipped != 1 || len(entries) != 1 || entries[0].Interrupted() {
 		t.Fatalf("post-recovery replay = %d records (%d skipped), entries %+v", len(recs), skipped, entries)
 	}
 }
 
+// TestJournalSurvivesInteriorCorruption flips bytes in the middle of
+// the file — bit rot, not a torn tail — and asserts the replay skips
+// exactly the damaged lines while recovering the healthy suffix
+// written after them.
+func TestJournalSurvivesInteriorCorruption(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := mustOpen(t, dir)
+	for seq := 1; seq <= 5; seq++ {
+		id := string(rune('a' + seq - 1))
+		if err := j.Append(Record{Type: TypeSubmit, ID: id, Seq: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	if len(lines) != 5 {
+		t.Fatalf("journal has %d lines, want 5", len(lines))
+	}
+	// Mangle line 2 into non-JSON and line 3 into valid JSON with a
+	// broken record shape (Reduce's corruption class).
+	copy(lines[1], `x#!garbage`)
+	lines[2] = []byte(`{"type":"haywire","id":"c","seq":3}`)
+	mangled := append(bytes.Join(lines, []byte("\n")), '\n')
+	if err := os.WriteFile(path, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, skipped := mustOpen(t, dir)
+	defer j2.Close()
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1 (the non-JSON line)", skipped)
+	}
+	entries, maxSeq, corrupt := Reduce(recs)
+	if corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1 (the unknown-type record)", corrupt)
+	}
+	// The healthy prefix AND suffix both replay: a, d, e.
+	if len(entries) != 3 || maxSeq != 5 {
+		t.Fatalf("entries = %d, maxSeq = %d; want 3 entries, maxSeq 5", len(entries), maxSeq)
+	}
+	for i, want := range []string{"a", "d", "e"} {
+		if entries[i].Submit.ID != want {
+			t.Errorf("entry %d = %q, want %q", i, entries[i].Submit.ID, want)
+		}
+	}
+}
+
+// TestJournalOversizedWreckDoesNotAbortReplay glues a giant unparseable
+// line (bigger than any scanner buffer default) into the middle of the
+// file; the replay must count it as one skipped line and keep going.
+func TestJournalOversizedWreckDoesNotAbortReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := mustOpen(t, dir)
+	if err := j.Append(Record{Type: TypeSubmit, ID: "a", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(filepath.Join(dir, FileName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(bytes.Repeat([]byte{'z'}, 1<<20), '\n')); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"type\":\"submit\",\"id\":\"b\",\"seq\":2}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recs, skipped := mustOpen(t, dir)
+	defer j2.Close()
+	if len(recs) != 2 || skipped != 1 {
+		t.Fatalf("replay = %d records, %d skipped; want 2 records, 1 skipped", len(recs), skipped)
+	}
+}
+
 func TestReduceOrphanAndDuplicateRecords(t *testing.T) {
-	entries, maxSeq := Reduce([]Record{
+	entries, maxSeq, corrupt := Reduce([]Record{
 		{Type: TypeTerminal, ID: "ghost", State: "done"}, // orphan: dropped
 		{Type: TypeSubmit, ID: "a", Seq: 3},
 		{Type: TypeSubmit, ID: "a", Seq: 4}, // duplicate submit: first wins
 		{Type: TypeTerminal, ID: "a", State: "canceled"},
 		{Type: TypeTerminal, ID: "a", State: "done"}, // last terminal wins
+		{Type: "gibberish", ID: "b", Seq: 99},        // unknown type: corrupt
+		{Type: TypeSubmit, ID: "", Seq: 98},          // missing id: corrupt
 	})
-	if len(entries) != 1 || maxSeq != 4 {
-		t.Fatalf("Reduce = %d entries, maxSeq %d", len(entries), maxSeq)
+	if len(entries) != 1 || maxSeq != 4 || corrupt != 2 {
+		t.Fatalf("Reduce = %d entries, maxSeq %d, corrupt %d", len(entries), maxSeq, corrupt)
 	}
 	if entries[0].Submit.Seq != 3 || entries[0].Terminal == nil || entries[0].Terminal.State != "done" {
 		t.Fatalf("entry = %+v, terminal %+v", entries[0].Submit, entries[0].Terminal)

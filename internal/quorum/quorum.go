@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"antdensity/internal/core"
 	"antdensity/internal/sim"
@@ -56,6 +57,48 @@ func Votes(ests []float64, threshold float64) []bool {
 		votes[i] = e >= threshold
 	}
 	return votes
+}
+
+// TrimmedVoteFraction is the robust-aggregation form of a quorum
+// vote (the adversarial suite's "trimmed quorum votes"): it sorts the
+// per-agent estimates, drops the trim fraction from each tail —
+// discarding the estimates Byzantine agents can place arbitrarily low
+// or high — and returns the fraction of the surviving middle voting
+// estimate >= threshold. trim must be in [0, 0.5); it panics
+// otherwise, and returns 0 for no estimates.
+func TrimmedVoteFraction(ests []float64, threshold, trim float64) float64 {
+	mid := trimmedMiddle(ests, trim)
+	if len(mid) == 0 {
+		return 0
+	}
+	yes := 0
+	for _, e := range mid {
+		if e >= threshold {
+			yes++
+		}
+	}
+	return float64(yes) / float64(len(mid))
+}
+
+// TrimmedMajority reports whether more than half of the surviving
+// middle estimates (see TrimmedVoteFraction) vote yes.
+func TrimmedMajority(ests []float64, threshold, trim float64) bool {
+	return TrimmedVoteFraction(ests, threshold, trim) > 0.5
+}
+
+// trimmedMiddle returns the sorted estimates with floor(trim*n)
+// order statistics dropped from each tail.
+func trimmedMiddle(ests []float64, trim float64) []float64 {
+	if math.IsNaN(trim) || trim < 0 || trim >= 0.5 {
+		panic(fmt.Sprintf("quorum: trim %v outside [0, 0.5)", trim))
+	}
+	if len(ests) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), ests...)
+	sort.Float64s(sorted)
+	k := int(trim * float64(len(sorted)))
+	return sorted[k : len(sorted)-k]
 }
 
 // DetectionRounds returns a round count sufficient to distinguish
@@ -240,6 +283,7 @@ func DetectionCurve(side int64, threshold float64, t int, ratios []float64, tria
 type AnytimeDetector struct {
 	threshold float64
 	delta     float64
+	filter    core.ReportFilter
 	ests      []*core.StreamingEstimator
 	decision  []int
 	stopRound []int
@@ -274,10 +318,20 @@ func NewAnytimeDetector(n int, threshold, delta, c1 float64) (*AnytimeDetector, 
 	return a, nil
 }
 
+// SetReportFilter interposes f between the pipeline's shared count
+// snapshot and the per-agent streaming estimators, exactly like
+// core.WithReportFilter does for the fixed-horizon observers — the
+// adversary layer's injection point into adaptive quorum runs. Call
+// before the first observed round.
+func (a *AnytimeDetector) SetReportFilter(f core.ReportFilter) { a.filter = f }
+
 // Observe feeds every still-active agent its round count and retires
 // agents whose confidence band cleared the threshold.
 func (a *AnytimeDetector) Observe(r *sim.Round) sim.Signal {
 	cs := r.Counts()
+	if a.filter != nil {
+		cs = a.filter(r.Index(), cs)
+	}
 	for i, est := range a.ests {
 		if !r.Active(i) {
 			continue

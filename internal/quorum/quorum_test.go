@@ -328,3 +328,31 @@ func TestAnytimeDetectorAgreesWithStreamingEstimator(t *testing.T) {
 		}
 	}
 }
+
+func TestTrimmedVoteFraction(t *testing.T) {
+	// 8 estimates at threshold 0.1: two Byzantine lows, six honest
+	// highs. trim 0.25 drops two per tail, leaving 4 middle voters.
+	ests := []float64{0, 0, 0.12, 0.12, 0.12, 0.12, 0.12, 0.12}
+	if got := TrimmedVoteFraction(ests, 0.1, 0.25); got != 1 {
+		t.Errorf("TrimmedVoteFraction = %v, want 1 (Byzantine lows trimmed)", got)
+	}
+	if got := VoteFraction(Votes(ests, 0.1)); got != 0.75 {
+		t.Errorf("plain VoteFraction = %v, want 0.75", got)
+	}
+	if !TrimmedMajority(ests, 0.1, 0.25) {
+		t.Error("TrimmedMajority = false, want true")
+	}
+	// trim 0 matches the plain fraction.
+	if got, want := TrimmedVoteFraction(ests, 0.1, 0), VoteFraction(Votes(ests, 0.1)); got != want {
+		t.Errorf("TrimmedVoteFraction(0) = %v, want %v", got, want)
+	}
+	if got := TrimmedVoteFraction(nil, 0.1, 0.25); got != 0 {
+		t.Errorf("TrimmedVoteFraction(empty) = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("trim >= 0.5 did not panic")
+		}
+	}()
+	TrimmedVoteFraction(ests, 0.1, 0.5)
+}

@@ -222,6 +222,94 @@ func MedianOfMeans(xs []float64, groups int) float64 {
 	return Median(means)
 }
 
+// TrimmedMean returns the mean of xs after dropping the trim fraction
+// from each tail (floor(trim*n) order statistics per side) — the
+// robust aggregator for one-sided contamination: up to a trim
+// fraction of arbitrarily corrupted values cannot move it arbitrarily.
+// trim must be in [0, 0.5); it panics on an empty slice, like the
+// other order-statistic helpers.
+func TrimmedMean(xs []float64, trim float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: TrimmedMean of empty slice")
+	}
+	if math.IsNaN(trim) || trim < 0 || trim >= 0.5 {
+		panic(fmt.Sprintf("stats: TrimmedMean trim %v outside [0, 0.5)", trim))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	k := int(trim * float64(len(sorted)))
+	return Mean(sorted[k : len(sorted)-k])
+}
+
+// Aggregator selects how a vector of per-agent estimates collapses to
+// one number: the plain mean, or one of the robust alternatives the
+// adversarial suite (internal/adversary, experiments E27+) compares
+// against it. The robust aggregators trade a little honest-case
+// variance for bounded sensitivity to Byzantine per-agent estimates.
+type Aggregator int
+
+const (
+	// AggMean is the arithmetic mean — the paper's default, and the
+	// aggregator an f-fraction of count-inflating adversaries poisons
+	// in proportion to f times the inflation.
+	AggMean Aggregator = iota
+	// AggMedian is the per-agent median: robust up to one half
+	// corrupted estimates.
+	AggMedian
+	// AggTrimmed is TrimmedMean at 25% per tail (the interquartile
+	// mean): robust to a quarter corrupted per side.
+	AggTrimmed
+	// AggMedianOfMeans is MedianOfMeans over ceil(n/2) contiguous
+	// pairs: each corrupted estimate poisons only its own pair, so the
+	// median of the pair means tolerates up to a quarter corrupted
+	// estimates while still averaging.
+	AggMedianOfMeans
+)
+
+var aggregatorNames = [...]string{"mean", "median", "trimmed", "mom"}
+
+// String returns the aggregator's wire name.
+func (a Aggregator) String() string {
+	if int(a) >= 0 && int(a) < len(aggregatorNames) {
+		return aggregatorNames[a]
+	}
+	return fmt.Sprintf("Aggregator(%d)", int(a))
+}
+
+// ParseAggregator resolves a wire name ("mean", "median", "trimmed",
+// "mom") to its Aggregator.
+func ParseAggregator(s string) (Aggregator, error) {
+	for i, n := range aggregatorNames {
+		if n == s {
+			return Aggregator(i), nil
+		}
+	}
+	return 0, fmt.Errorf("stats: unknown aggregator %q (valid: mean, median, trimmed, mom)", s)
+}
+
+// Aggregators lists every Aggregator, mean first — the iteration
+// order experiment tables and CLI output use.
+func Aggregators() []Aggregator {
+	return []Aggregator{AggMean, AggMedian, AggTrimmed, AggMedianOfMeans}
+}
+
+// Aggregate collapses xs with the selected aggregator (robust
+// variants use their documented default parameters). It panics on an
+// empty slice for the order-statistic aggregators, matching the
+// functions it dispatches to.
+func (a Aggregator) Aggregate(xs []float64) float64 {
+	switch a {
+	case AggMedian:
+		return Median(xs)
+	case AggTrimmed:
+		return TrimmedMean(xs, 0.25)
+	case AggMedianOfMeans:
+		return MedianOfMeans(xs, (len(xs)+1)/2)
+	default:
+		return Mean(xs)
+	}
+}
+
 // MeanCI95 returns the 95% normal-approximation confidence-interval
 // half-width of the sample mean, 1.96 * s / sqrt(n) with s the
 // unbiased sample standard deviation. Fewer than two samples carry no

@@ -270,3 +270,91 @@ func TestMeanCI95(t *testing.T) {
 		t.Errorf("CI shrink ratio = %v, want ~0.5", r)
 	}
 }
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	// trim 0.2 on n=5 drops one order statistic per tail: mean(2,3,4).
+	if got := TrimmedMean(xs, 0.2); math.Abs(got-3) > 1e-12 {
+		t.Errorf("TrimmedMean = %v, want 3", got)
+	}
+	// trim 0 is the plain mean.
+	if got, want := TrimmedMean(xs, 0), Mean(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TrimmedMean(0) = %v, want %v", got, want)
+	}
+	// Order-insensitive.
+	if got := TrimmedMean([]float64{100, 4, 1, 3, 2}, 0.2); math.Abs(got-3) > 1e-12 {
+		t.Errorf("shuffled TrimmedMean = %v, want 3", got)
+	}
+	for _, bad := range []float64{-0.1, 0.5, 0.9, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TrimmedMean(trim=%v) did not panic", bad)
+				}
+			}()
+			TrimmedMean(xs, bad)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("TrimmedMean(empty) did not panic")
+			}
+		}()
+		TrimmedMean(nil, 0.25)
+	}()
+}
+
+func TestAggregatorRoundTripAndDispatch(t *testing.T) {
+	for _, a := range Aggregators() {
+		got, err := ParseAggregator(a.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a {
+			t.Errorf("ParseAggregator(%q) = %v, want %v", a.String(), got, a)
+		}
+	}
+	if _, err := ParseAggregator("mode"); err == nil {
+		t.Error("ParseAggregator(mode) accepted")
+	}
+	if Aggregators()[0] != AggMean {
+		t.Error("Aggregators() must lead with the mean")
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if got := AggMean.Aggregate(xs); math.Abs(got-Mean(xs)) > 1e-12 {
+		t.Errorf("AggMean = %v", got)
+	}
+	if got := AggMedian.Aggregate(xs); math.Abs(got-Median(xs)) > 1e-12 {
+		t.Errorf("AggMedian = %v", got)
+	}
+	if got := AggTrimmed.Aggregate(xs); math.Abs(got-TrimmedMean(xs, 0.25)) > 1e-12 {
+		t.Errorf("AggTrimmed = %v", got)
+	}
+	if got := AggMedianOfMeans.Aggregate(xs); math.Abs(got-MedianOfMeans(xs, 4)) > 1e-12 {
+		t.Errorf("AggMedianOfMeans = %v", got)
+	}
+}
+
+// TestRobustAggregatorsResistContamination plants a 20% fraction of
+// wild outliers in an otherwise concentrated sample; every robust
+// aggregator must stay near the honest location while the mean is
+// dragged away — the property the adversarial experiments measure
+// end to end.
+func TestRobustAggregatorsResistContamination(t *testing.T) {
+	xs := make([]float64, 40)
+	for i := range xs {
+		xs[i] = 0.1 + 0.001*float64(i%7)
+	}
+	for i := 0; i < 8; i++ { // 20%, scattered through the slice
+		xs[i*5] = 50
+	}
+	if mean := AggMean.Aggregate(xs); mean < 5 {
+		t.Fatalf("contaminated mean = %v, expected to be dragged above 5", mean)
+	}
+	for _, a := range []Aggregator{AggMedian, AggTrimmed, AggMedianOfMeans} {
+		if got := a.Aggregate(xs); math.Abs(got-0.1) > 0.05 {
+			t.Errorf("%v = %v, want ~0.1 despite contamination", a, got)
+		}
+	}
+}

@@ -19,11 +19,13 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"antdensity/internal/adversary"
 	"antdensity/internal/core"
 	"antdensity/internal/netsize"
 	"antdensity/internal/quorum"
 	"antdensity/internal/results"
 	"antdensity/internal/sim"
+	"antdensity/internal/stats"
 )
 
 // RunResult is the schema-stable structured outcome of a Run — the
@@ -477,10 +479,46 @@ func (r *Run) baseResult(title string) *results.Result {
 	return &results.Result{ID: r.spec.Kind.String(), Title: title, Seed: r.spec.Seed}
 }
 
+// compileAdversary builds the Spec's Tamperer — attached to the run's
+// world, so stall adversaries physically freeze — and a Detector
+// auditing its reports. Both are nil when the Spec has no adversary.
+func (r *Run) compileAdversary() (*adversary.Tamperer, *adversary.Detector, error) {
+	tam, err := r.spec.tamperer(r.numAgents)
+	if tam == nil || err != nil {
+		return nil, nil, err
+	}
+	tam.Attach(r.world)
+	return tam, adversary.NewDetector(r.numAgents, tam, adversary.DetectorConfig{}), nil
+}
+
+// addAdversaryMetrics records the adversarial population, every
+// stats.Aggregator of the per-agent estimates (robust locations beside
+// the mean — the comparison the adversary experiments plot), and the
+// detection rates scored against the ground-truth mask.
+func addAdversaryMetrics(res *results.Result, ests []float64, tam *adversary.Tamperer, audit *adversary.Detector) {
+	res.SetMetric("adversaries", float64(tam.NumAdversarial()))
+	res.SetMetric("adversary_fraction", tam.Config().Fraction)
+	for _, agg := range stats.Aggregators() {
+		res.SetMetric("estimate_"+agg.String(), agg.Aggregate(ests))
+	}
+	tpr, fpr, flagged := audit.Rates(tam.Mask())
+	res.SetMetric("detect_tpr", tpr)
+	res.SetMetric("detect_fpr", fpr)
+	res.SetMetric("detect_flagged", float64(flagged))
+}
+
 // compileDensity builds the KindDensity engine: Algorithm 1 through
 // the observation pipeline, with a snapshot publisher riding along.
 func (r *Run) compileDensity() error {
-	obs, err := core.NewCollisionObserver(r.numAgents, r.spec.estimatorOptions()...)
+	tam, audit, err := r.compileAdversary()
+	if err != nil {
+		return err
+	}
+	opts := r.spec.estimatorOptions()
+	if tam != nil {
+		opts = append(opts, core.WithReportFilter(tam.Filter()))
+	}
+	obs, err := core.NewCollisionObserver(r.numAgents, opts...)
 	if err != nil {
 		return err
 	}
@@ -491,7 +529,14 @@ func (r *Run) compileDensity() error {
 			snap.Mean = meanFinite(snap.Estimates)
 		}
 		var last int
-		_, err := sim.RunContext(ctx, r.world, t, obs, r.publisher(t, measure, &last))
+		// The audit detector rides after the estimator, so it reads the
+		// Tamperer's memoized per-round reports (see adversary.Detector).
+		pipeline := []sim.Observer{obs}
+		if audit != nil {
+			pipeline = append(pipeline, audit)
+		}
+		pipeline = append(pipeline, r.publisher(t, measure, &last))
+		_, err := sim.RunContext(ctx, r.world, t, pipeline...)
 		r.snapshotAt(last, t, measure) // exact final view, even mid-stride
 		if err != nil {
 			return Output{}, nil, err
@@ -508,6 +553,9 @@ func (r *Run) compileDensity() error {
 		res.SetMetric("num_agents", float64(r.numAgents))
 		res.SetMetric("true_density", r.world.Density())
 		res.SetMetric("mean_estimate", meanFinite(ests))
+		if tam != nil {
+			addAdversaryMetrics(res, ests, tam, audit)
+		}
 		return Output{Rounds: t, Estimates: ests}, res, nil
 	}
 	return nil
@@ -542,7 +590,17 @@ func (r *Run) compileIndependent() {
 
 // compileProperty builds the KindProperty engine (Section 5.2).
 func (r *Run) compileProperty() error {
-	obs, err := core.NewPropertyObserver(r.numAgents, r.spec.estimatorOptions()...)
+	tam, audit, err := r.compileAdversary()
+	if err != nil {
+		return err
+	}
+	opts := r.spec.estimatorOptions()
+	if tam != nil {
+		opts = append(opts,
+			core.WithReportFilter(tam.Filter()),
+			core.WithTaggedReportFilter(tam.TaggedFilter()))
+	}
+	obs, err := core.NewPropertyObserver(r.numAgents, opts...)
 	if err != nil {
 		return err
 	}
@@ -553,7 +611,12 @@ func (r *Run) compileProperty() error {
 			snap.Mean = meanFinite(snap.Estimates)
 		}
 		var last int
-		_, err := sim.RunContext(ctx, r.world, t, obs, r.publisher(t, measure, &last))
+		pipeline := []sim.Observer{obs}
+		if audit != nil {
+			pipeline = append(pipeline, audit)
+		}
+		pipeline = append(pipeline, r.publisher(t, measure, &last))
+		_, err := sim.RunContext(ctx, r.world, t, pipeline...)
 		r.snapshotAt(last, t, measure)
 		if err != nil {
 			return Output{}, nil, err
@@ -567,6 +630,9 @@ func (r *Run) compileProperty() error {
 		res.SetMetric("rounds", float64(t))
 		res.SetMetric("num_agents", float64(r.numAgents))
 		res.SetMetric("mean_frequency", meanFinite(pr.Frequency))
+		if tam != nil {
+			addAdversaryMetrics(res, pr.Frequency, tam, audit)
+		}
 		return Output{Rounds: t, Property: pr}, res, nil
 	}
 	return nil
@@ -575,7 +641,15 @@ func (r *Run) compileProperty() error {
 // compileQuorum builds the KindQuorum engine: Algorithm 1 counting
 // plus a threshold vote at the horizon.
 func (r *Run) compileQuorum() error {
-	obs, err := core.NewCollisionObserver(r.numAgents, r.spec.estimatorOptions()...)
+	tam, audit, err := r.compileAdversary()
+	if err != nil {
+		return err
+	}
+	opts := r.spec.estimatorOptions()
+	if tam != nil {
+		opts = append(opts, core.WithReportFilter(tam.Filter()))
+	}
+	obs, err := core.NewCollisionObserver(r.numAgents, opts...)
 	if err != nil {
 		return err
 	}
@@ -591,7 +665,12 @@ func (r *Run) compileQuorum() error {
 			}
 		}
 		var last int
-		_, err := sim.RunContext(ctx, r.world, t, obs, r.publisher(t, measure, &last))
+		pipeline := []sim.Observer{obs}
+		if audit != nil {
+			pipeline = append(pipeline, audit)
+		}
+		pipeline = append(pipeline, r.publisher(t, measure, &last))
+		_, err := sim.RunContext(ctx, r.world, t, pipeline...)
 		r.snapshotAt(last, t, measure)
 		if err != nil {
 			return Output{}, nil, err
@@ -615,6 +694,11 @@ func (r *Run) compileQuorum() error {
 		res.SetMetric("yes_votes", float64(yes))
 		res.SetMetric("vote_fraction", quorum.VoteFraction(votes))
 		res.SetMetric("majority", boolMetric(quorum.MajorityVote(votes)))
+		if tam != nil {
+			addAdversaryMetrics(res, ests, tam, audit)
+			res.SetMetric("trimmed_vote_fraction", quorum.TrimmedVoteFraction(ests, threshold, 0.25))
+			res.SetMetric("trimmed_majority", boolMetric(quorum.TrimmedMajority(ests, threshold, 0.25)))
+		}
 		return Output{Rounds: t, Votes: votes}, res, nil
 	}
 	return nil
@@ -626,6 +710,13 @@ func (r *Run) compileAdaptiveQuorum() error {
 	det, err := quorum.NewAnytimeDetector(r.numAgents, r.spec.Threshold, r.spec.delta(), r.spec.c1())
 	if err != nil {
 		return err
+	}
+	tam, audit, err := r.compileAdversary()
+	if err != nil {
+		return err
+	}
+	if tam != nil {
+		det.SetReportFilter(tam.Filter())
 	}
 	maxRounds := r.spec.Rounds
 	r.exec = func(ctx context.Context) (Output, *results.Result, error) {
@@ -643,7 +734,14 @@ func (r *Run) compileAdaptiveQuorum() error {
 			snap.Decided = det.NumDecided()
 		}
 		var last int
-		ar, err := det.DecideContext(ctx, r.world, maxRounds, r.publisher(maxRounds, measure, &last))
+		// The anytime detector observes first (it is the filter's first
+		// caller each round), then the audit, then the publisher.
+		extra := []sim.Observer{}
+		if audit != nil {
+			extra = append(extra, audit)
+		}
+		extra = append(extra, r.publisher(maxRounds, measure, &last))
+		ar, err := det.DecideContext(ctx, r.world, maxRounds, extra...)
 		// Early stop and cancellation both land between publication
 		// strides; republish the exact final view.
 		r.snapshotAt(last, maxRounds, measure)
@@ -671,6 +769,13 @@ func (r *Run) compileAdaptiveQuorum() error {
 		res.SetMetric("undecided", float64(undecided))
 		res.SetMetric("vote_fraction", quorum.VoteFraction(votes))
 		res.SetMetric("majority", boolMetric(quorum.MajorityVote(votes)))
+		if tam != nil {
+			ests := make([]float64, r.numAgents)
+			for i := range ests {
+				ests[i], _ = det.Interval(i)
+			}
+			addAdversaryMetrics(res, ests, tam, audit)
+		}
 		return Output{Rounds: ar.Rounds, Anytime: ar}, res, nil
 	}
 	return nil

@@ -11,6 +11,7 @@ package antdensity
 import (
 	"fmt"
 
+	"antdensity/internal/adversary"
 	"antdensity/internal/sim"
 )
 
@@ -77,6 +78,29 @@ type NoiseSpec struct {
 	Seed         uint64
 }
 
+// AdversarySpec configures the Byzantine fault model for a Spec: a
+// Fraction of the agents misreport their collision observations with
+// the named strategy (internal/adversary). Valid for density,
+// property, and both quorum kinds; the "lie" strategy additionally
+// requires KindProperty (it poisons the tagged stream).
+type AdversarySpec struct {
+	// Kind is the fault strategy wire name: "inflate", "deflate",
+	// "random", "lie", "stall", or "crash".
+	Kind string
+	// Fraction is the adversarial fraction f in [0, 1]; floor(f*n)
+	// agents misreport.
+	Fraction float64
+	// Param is the strategy parameter: the count magnitude for
+	// inflate/deflate/random, the trigger round for stall/crash. 0
+	// means the strategy default (5/5/10 for the count kinds, half the
+	// horizon for the timed kinds).
+	Param float64
+	// Seed drives adversary selection and the random strategy's draws.
+	// 0 derives a seed from the run seed, so adversarial runs stay
+	// fully determined by the Spec.
+	Seed uint64
+}
+
 // Spec is the declarative description of one estimation run. Build it
 // with a kind constructor (DensitySpec, QuorumSpec, ...) plus
 // functional options, or construct it directly; either way Validate
@@ -117,6 +141,9 @@ type Spec struct {
 	// Noise enables imperfect collision sensing for density, property,
 	// and quorum runs.
 	Noise *NoiseSpec
+	// Adversary makes a fraction of the agents misreport (density,
+	// property, and quorum kinds); see AdversarySpec.
+	Adversary *AdversarySpec
 	// EstimatorOptions are extra core estimator options appended after
 	// the structured fields above; the deprecated v1 shims pass their
 	// opaque option lists through here.
@@ -295,6 +322,16 @@ func WithSensingNoise(detectProb, spuriousProb float64, seed uint64) SpecOption 
 	}
 }
 
+// WithAdversary makes floor(fraction*n) agents misreport with the
+// named strategy ("inflate", "deflate", "random", "lie", "stall",
+// "crash"); param 0 means the strategy default and seed 0 derives the
+// adversary seed from the run seed. See AdversarySpec.
+func WithAdversary(kind string, fraction, param float64, seed uint64) SpecOption {
+	return func(s *Spec) {
+		s.Adversary = &AdversarySpec{Kind: kind, Fraction: fraction, Param: param, Seed: seed}
+	}
+}
+
 // WithEstimatorOptions appends opaque core estimator options (the v1
 // EstimatorOption values) after the Spec's structured fields.
 func WithEstimatorOptions(opts ...EstimatorOption) SpecOption {
@@ -340,6 +377,13 @@ func (k Kind) supportsSensing() bool {
 		return true
 	}
 	return false
+}
+
+// supportsAdversary reports whether the kind accepts an AdversarySpec:
+// every collision-counting estimator, including adaptive quorum (its
+// detector audits the same tampered reports).
+func (k Kind) supportsAdversary() bool {
+	return k.supportsSensing() || k == KindQuorumAdaptive
 }
 
 // Validate checks every Spec field against its kind and valid range.
@@ -416,6 +460,18 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("antdensity: Spec.Noise.SpuriousProb %v outside [0, 1]", s.Noise.SpuriousProb)
 		}
 	}
+	if s.Adversary != nil {
+		if !s.Kind.supportsAdversary() {
+			return fmt.Errorf("antdensity: Spec.Adversary is not supported for kind %q (valid: density, property, quorum, quorum_adaptive)", s.Kind)
+		}
+		cfg, err := s.adversaryConfig()
+		if err != nil {
+			return fmt.Errorf("antdensity: Spec.Adversary: %w", err)
+		}
+		if cfg.Kind == adversary.Lie && s.Kind != KindProperty {
+			return fmt.Errorf("antdensity: Spec.Adversary kind %q needs the tagged stream, so it is only valid for kind %q, not %q", adversary.Lie, KindProperty, s.Kind)
+		}
+	}
 	if s.Walkers != 0 {
 		return fmt.Errorf("antdensity: Spec.Walkers is only valid for kind %q, not %q", KindNetworkSize, s.Kind)
 	}
@@ -458,6 +514,9 @@ func (s *Spec) validateNetsize() error {
 	}
 	if s.Noise != nil || s.TaggedOnly || s.TaggedCount != 0 || len(s.TaggedAgents) > 0 || len(s.EstimatorOptions) > 0 {
 		return fmt.Errorf("antdensity: noise/tagging fields are not supported for kind %q", s.Kind)
+	}
+	if s.Adversary != nil {
+		return fmt.Errorf("antdensity: Spec.Adversary is not supported for kind %q (valid: density, property, quorum, quorum_adaptive)", s.Kind)
 	}
 	if s.Threshold != 0 {
 		return fmt.Errorf("antdensity: Spec.Threshold is only valid for quorum kinds, not %q", s.Kind)
@@ -519,6 +578,45 @@ func (s *Spec) buildWorld() (*World, error) {
 		w.SetTagged(id, true)
 	}
 	return w, nil
+}
+
+// adversaryConfig resolves the Spec's adversary block to a compiled
+// adversary.Config: horizon-aware Param defaults (a timed strategy
+// with Param 0 triggers at half the horizon, floored at round 1) and a
+// Seed derived from the run seed when 0, so the adversarial population
+// is fully determined by the Spec.
+func (s *Spec) adversaryConfig() (adversary.Config, error) {
+	a := s.Adversary
+	kind, err := adversary.ParseKind(a.Kind)
+	if err != nil {
+		return adversary.Config{}, err
+	}
+	cfg := adversary.Config{Kind: kind, Fraction: a.Fraction, Param: a.Param, Seed: a.Seed}
+	if kind.Timed() && cfg.Param == 0 {
+		cfg.Param = float64(s.Rounds / 2)
+		if cfg.Param < 1 {
+			cfg.Param = 1
+		}
+	}
+	if cfg.Seed == 0 {
+		// Distinct from the run seed itself so the adversary's
+		// substreams never collide with the world's.
+		cfg.Seed = s.Seed + 0xad5eed
+	}
+	return cfg, cfg.Validate()
+}
+
+// tamperer compiles the Spec's adversary for an n-agent run (nil when
+// no adversary is configured).
+func (s *Spec) tamperer(n int) (*adversary.Tamperer, error) {
+	if s.Adversary == nil {
+		return nil, nil
+	}
+	cfg, err := s.adversaryConfig()
+	if err != nil {
+		return nil, err
+	}
+	return adversary.New(n, cfg)
 }
 
 // estimatorOptions assembles the core option list: structured fields

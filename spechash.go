@@ -66,6 +66,12 @@ func (s *Spec) Fingerprint() (string, bool) {
 		f64("noise_spurious", s.Noise.SpuriousProb)
 		field("noise_seed", strconv.FormatUint(s.Noise.Seed, 10))
 	}
+	if s.Adversary != nil {
+		field("adversary_kind", s.Adversary.Kind)
+		f64("adversary_fraction", s.Adversary.Fraction)
+		f64("adversary_param", s.Adversary.Param)
+		field("adversary_seed", strconv.FormatUint(s.Adversary.Seed, 10))
+	}
 	f64("threshold", s.Threshold)
 	f64("delta", s.delta())
 	f64("c1", s.c1())
