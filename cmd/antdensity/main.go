@@ -5,9 +5,9 @@
 // Usage:
 //
 //	antdensity list
-//	antdensity run [-seed N] [-quick] [-workers W] [-format text|json|csv] [-cpuprofile F] <exp-id>|all
-//	antdensity sweep <exp-id> [-seed N] [-quick] [-workers W] [-format text|json|csv] [-axis name=v1,v2,...] [-axis name=lo:hi:step]
-//	antdensity estimate [-dims K] [-side L] [-agents N] [-rounds T] [-seed N] [-cpuprofile F]
+//	antdensity run [-seed N] [-quick] [-workers W] [-format text|json|csv] [-cpuprofile F] [-memprofile F] [-trace F] <exp-id>|all
+//	antdensity sweep <exp-id> [-seed N] [-quick] [-workers W] [-format text|json|csv] [-axis name=v1,v2,...] [-axis name=lo:hi:step] [-cpuprofile F] [-memprofile F] [-trace F]
+//	antdensity estimate [-dims K] [-side L] [-agents N] [-rounds T] [-seed N] [-cpuprofile F] [-memprofile F] [-trace F]
 //	antdensity netsize  [-graph ba|er|ws|torus3] [-nodes N] [-walkers W] [-steps T] [-seed N]
 //	antdensity walk     [-topo torus2d|ring|torus3d|hypercube] [-steps M] [-trials K] [-seed N]
 //	antdensity quorum   [-side L] [-agents N] [-threshold T] [-adaptive] [-max-rounds M] [-seed N]
@@ -20,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"strings"
 
 	"antdensity/internal/adversary"
@@ -105,7 +104,7 @@ func cmdList() error {
 	return tb.Render(os.Stdout)
 }
 
-func cmdRun(args []string) error {
+func cmdRun(args []string) (err error) {
 	// Accept experiment IDs before the flags (antdensity run E01
 	// -format=json) as well as after them.
 	var leadingIDs []string
@@ -117,7 +116,7 @@ func cmdRun(args []string) error {
 	quick := fs.Bool("quick", false, "reduced trial counts")
 	workers := fs.Int("workers", 0, "trial-runner goroutines (0 = all CPUs); results are identical for any value")
 	format := fs.String("format", "text", "output format: text, json, or csv")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (inspect with 'go tool pprof')")
+	prof := addProfileFlags(fs, "the selected runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,13 +124,15 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
 	}
-	if *cpuprofile != "" {
-		stop, err := startCPUProfile(*cpuprofile)
-		if err != nil {
-			return err
-		}
-		defer stop()
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
 	}
+	defer func() {
+		if e := stopProf(); e != nil && err == nil {
+			err = e
+		}
+	}()
 	ids := append(leadingIDs, fs.Args()...)
 	if len(ids) == 0 {
 		return fmt.Errorf("run: need an experiment id or 'all' (available: %s)",
@@ -187,24 +188,7 @@ func cmdRun(args []string) error {
 	}
 }
 
-// startCPUProfile begins profiling into path and returns a function
-// that stops the profile and closes the file.
-func startCPUProfile(path string) (stop func(), err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, fmt.Errorf("cpuprofile: %w", err)
-	}
-	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("cpuprofile: %w", err)
-	}
-	return func() {
-		pprof.StopCPUProfile()
-		f.Close()
-	}, nil
-}
-
-func cmdEstimate(args []string) error {
+func cmdEstimate(args []string) (err error) {
 	fs := flag.NewFlagSet("estimate", flag.ContinueOnError)
 	dims := fs.Int("dims", 2, "torus dimensions")
 	side := fs.Int64("side", 100, "torus side length")
@@ -212,17 +196,19 @@ func cmdEstimate(args []string) error {
 	rounds := fs.Int("rounds", 1000, "rounds of Algorithm 1")
 	seed := fs.Uint64("seed", 1, "random seed")
 	advFlag := fs.String("adversary", "", adversaryFlagUsage)
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the estimation run to this file")
+	prof := addProfileFlags(fs, "the estimation run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *cpuprofile != "" {
-		stop, err := startCPUProfile(*cpuprofile)
-		if err != nil {
-			return err
-		}
-		defer stop()
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
 	}
+	defer func() {
+		if e := stopProf(); e != nil && err == nil {
+			err = e
+		}
+	}()
 	g, err := topology.NewTorus(*dims, *side)
 	if err != nil {
 		return err

@@ -321,6 +321,70 @@ func TestCmdAllocate(t *testing.T) {
 	}
 }
 
+// TestProfileFlags smoke-tests -cpuprofile/-memprofile/-trace on the
+// three subcommands that accept them: every requested file must exist
+// and be non-empty after the command returns.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	runs := []struct {
+		name string
+		args func(cpu, mem, trc string) []string
+	}{
+		{"estimate", func(cpu, mem, trc string) []string {
+			return []string{"estimate", "-side", "20", "-agents", "41", "-rounds", "50", "-seed", "5",
+				"-cpuprofile", cpu, "-memprofile", mem, "-trace", trc}
+		}},
+		{"run", func(cpu, mem, trc string) []string {
+			return []string{"run", "E01", "-quick", "-seed", "3",
+				"-cpuprofile", cpu, "-memprofile", mem, "-trace", trc}
+		}},
+		{"sweep", func(cpu, mem, trc string) []string {
+			return []string{"sweep", "E01", "-quick", "-seed", "3", "-axis", "d=0.05", "-axis", "steps=100",
+				"-cpuprofile", cpu, "-memprofile", mem, "-trace", trc}
+		}},
+	}
+	for _, tt := range runs {
+		t.Run(tt.name, func(t *testing.T) {
+			paths := map[string]string{
+				"cpuprofile": dir + "/" + tt.name + ".cpu",
+				"memprofile": dir + "/" + tt.name + ".mem",
+				"trace":      dir + "/" + tt.name + ".trace",
+			}
+			_, err := captureStdout(t, func() error {
+				return run(tt.args(paths["cpuprofile"], paths["memprofile"], paths["trace"]))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for kind, path := range paths {
+				fi, err := os.Stat(path)
+				if err != nil {
+					t.Errorf("%s: %v", kind, err)
+					continue
+				}
+				if fi.Size() == 0 {
+					t.Errorf("%s file %s is empty", kind, path)
+				}
+			}
+		})
+	}
+}
+
+// TestProfileFlagsBadPath checks that an unwritable profile path
+// fails before the run starts rather than after it.
+func TestProfileFlagsBadPath(t *testing.T) {
+	_, err := captureStdout(t, func() error {
+		return run([]string{"estimate", "-side", "20", "-agents", "41", "-rounds", "10",
+			"-memprofile", t.TempDir() + "/no/such/dir/x.mem"})
+	})
+	if err == nil {
+		t.Fatal("estimate with unwritable -memprofile succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "memprofile") {
+		t.Errorf("error %q does not name the failing flag", err)
+	}
+}
+
 func TestCmdSensors(t *testing.T) {
 	out, err := captureStdout(t, func() error {
 		return run([]string{"sensors", "-side", "32", "-steps", "64", "-trials", "500"})

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// profileFlags carries the three diagnostic outputs a long-running
+// subcommand can produce: a CPU profile, an allocation profile, and
+// an execution trace.
+type profileFlags struct {
+	cpu, mem, trc *string
+}
+
+// addProfileFlags registers -cpuprofile, -memprofile, and -trace on
+// fs. The what string names the profiled work in the usage text.
+func addProfileFlags(fs *flag.FlagSet, what string) *profileFlags {
+	return &profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile of "+what+" to this file (inspect with 'go tool pprof')"),
+		mem: fs.String("memprofile", "", "write an allocation profile of "+what+" to this file at exit (inspect with 'go tool pprof')"),
+		trc: fs.String("trace", "", "write an execution trace of "+what+" to this file (inspect with 'go tool trace')"),
+	}
+}
+
+// start opens every requested profile and returns a stop function
+// that flushes and closes them, reporting the first failure. All
+// output files are created up front so a bad path fails before the
+// run instead of after it. A nil error from stop is the only evidence
+// the profiles are complete, so callers must propagate it.
+func (p *profileFlags) start() (stop func() error, err error) {
+	var stops []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		return nil, err
+	}
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if *p.trc != "" {
+		f, err := os.Create(*p.trc)
+		if err != nil {
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			return fail(fmt.Errorf("memprofile: %w", err))
+		}
+		stops = append(stops, func() error {
+			// Mirror 'go test -memprofile': a GC first so the
+			// allocs profile reflects live data accurately.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			return f.Close()
+		})
+	}
+	return func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

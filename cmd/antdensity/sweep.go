@@ -50,7 +50,7 @@ type repeatedFlag []string
 func (r *repeatedFlag) String() string     { return strings.Join(*r, " ") }
 func (r *repeatedFlag) Set(v string) error { *r = append(*r, v); return nil }
 
-func cmdSweep(args []string) error {
+func cmdSweep(args []string) (err error) {
 	// Accept the experiment ID before the flags (antdensity sweep e01
 	// -axis d=...) as well as after them.
 	var id string
@@ -62,11 +62,21 @@ func cmdSweep(args []string) error {
 	quick := fs.Bool("quick", false, "reduced trial counts")
 	workers := fs.Int("workers", 0, "trial-runner goroutines (0 = all CPUs); results are identical for any value")
 	format := fs.String("format", "text", "output format: text, json, or csv")
+	prof := addProfileFlags(fs, "the sweep")
 	var axes repeatedFlag
 	fs.Var(&axes, "axis", "axis override name=v1,v2,... or name=lo:hi:step (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := stopProf(); e != nil && err == nil {
+			err = e
+		}
+	}()
 	if id == "" {
 		if fs.NArg() != 1 {
 			return fmt.Errorf("sweep: need exactly one experiment id (sweepable: %s)",

@@ -43,12 +43,20 @@
 //     Algorithm 4 (independent-sampling baseline), property-frequency
 //     estimation, and the paper's closed-form bounds.
 //   - internal/sim — the synchronous multi-agent model of Section 2.
-//     Its hot path is allocation-free in steady state: an incrementally
-//     maintained occupancy index (dense array or sparse map, chosen by
-//     a memory-budget rule), BulkStepper policies with devirtualized
-//     arithmetic inner loops on regular topologies, and a persistent
-//     worker pool behind StepParallel — all proven bit-identical to
-//     the scalar reference paths by property tests.
+//     Its hot path is allocation-free in steady state and laid out as
+//     a strict structure of arrays: positions, previous positions, and
+//     per-agent RNG streams are parallel flat slices, stepped by
+//     batched kernels that bulk-fill randomness (internal/rng's
+//     Uint64nEach/FloatEach) and apply moves with branch-free
+//     arithmetic; an incrementally maintained occupancy index (dense
+//     array with cache-blocked updates, or a split-array open-address
+//     table, chosen by a memory-budget rule) serves counts; a
+//     persistent worker pool behind StepParallel splits agents on
+//     cache-line-aligned chunk boundaries. Every fast path is proven
+//     bit-identical to the scalar reference by a property-test matrix
+//     (batched × fused × scalar, dense × sparse, serial × parallel) —
+//     the bulk RNG fills advance each agent's stream exactly as scalar
+//     draws would, so results never depend on which path executed.
 //
 // Estimation runs through sim's streaming observation pipeline: Run
 // advances the world round by round and hands every registered

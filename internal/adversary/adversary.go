@@ -198,7 +198,10 @@ func New(n int, cfg Config) (*Tamperer, error) {
 	}
 	base := rng.New(cfg.Seed)
 	k := int(cfg.Fraction * float64(n))
-	for _, id := range base.Split(0).Perm(n)[:k] {
+	// t.buf is free until the first report; borrowing it as PermInto
+	// scratch keeps controlled-agent selection allocation-free (the
+	// permutation and draws are identical to Perm's).
+	for _, id := range base.Split(0).PermInto(t.buf)[:k] {
 		t.mask[id] = true
 	}
 	sub := base.Split(1)

@@ -1,0 +1,137 @@
+package rng
+
+import "testing"
+
+// Bounds chosen to exercise every Lemire regime: tiny (heavy modulo
+// wrap), powers of two (thresh == 0, never rejects), just above a
+// power of two, and huge bounds near 2^64 where rejection is likely.
+var bulkBounds = []uint64{1, 2, 3, 5, 7, 1 << 20, 1<<20 + 1, 1<<63 - 25, 1<<63 + 1, 3 << 62, ^uint64(0) - 4}
+
+func TestUint64nBulkMatchesScalar(t *testing.T) {
+	for _, n := range bulkBounds {
+		bulk := New(42)
+		scalar := New(42)
+		buf := make([]uint64, 257)
+		bulk.Uint64nBulk(n, buf)
+		for i, got := range buf {
+			if want := scalar.Uint64n(n); got != want {
+				t.Fatalf("n=%d: Uint64nBulk[%d] = %d, scalar draw %d", n, i, got, want)
+			}
+		}
+		if *bulk != *scalar {
+			t.Fatalf("n=%d: stream state diverged after bulk fill", n)
+		}
+	}
+}
+
+func TestFloatBulkMatchesScalar(t *testing.T) {
+	bulk := New(7)
+	scalar := New(7)
+	buf := make([]float64, 513)
+	bulk.FloatBulk(buf)
+	for i, got := range buf {
+		if want := scalar.Float64(); got != want {
+			t.Fatalf("FloatBulk[%d] = %g, scalar draw %g", i, got, want)
+		}
+	}
+	if *bulk != *scalar {
+		t.Fatal("stream state diverged after bulk fill")
+	}
+}
+
+// TestUint64nEachMatchesScalar is the per-substream determinism proof
+// the simulator relies on: one batched draw across a slice of agent
+// streams must equal each agent's own scalar draw, and must leave
+// each stream in exactly the state the scalar draw would.
+func TestUint64nEachMatchesScalar(t *testing.T) {
+	for _, n := range bulkBounds {
+		root := New(99)
+		batched := make([]Stream, 100)
+		scalar := make([]Stream, 100)
+		for i := range batched {
+			batched[i] = root.SplitValue(uint64(i))
+			scalar[i] = batched[i]
+		}
+		out := make([]uint64, len(batched))
+		for round := 0; round < 5; round++ {
+			Uint64nEach(batched, n, out)
+			for i := range scalar {
+				if want := scalar[i].Uint64n(n); out[i] != want {
+					t.Fatalf("n=%d round=%d stream=%d: batched %d, scalar %d", n, round, i, out[i], want)
+				}
+				if batched[i] != scalar[i] {
+					t.Fatalf("n=%d round=%d stream=%d: state diverged", n, round, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFloatEachMatchesScalar(t *testing.T) {
+	root := New(5)
+	batched := make([]Stream, 64)
+	scalar := make([]Stream, 64)
+	for i := range batched {
+		batched[i] = root.SplitValue(uint64(i))
+		scalar[i] = batched[i]
+	}
+	out := make([]float64, len(batched))
+	for round := 0; round < 5; round++ {
+		FloatEach(batched, out)
+		for i := range scalar {
+			if want := scalar[i].Float64(); out[i] != want {
+				t.Fatalf("round=%d stream=%d: batched %g, scalar %g", round, i, out[i], want)
+			}
+			if batched[i] != scalar[i] {
+				t.Fatalf("round=%d stream=%d: state diverged", round, i)
+			}
+		}
+	}
+}
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		a := New(1234)
+		b := New(1234)
+		buf := make([]int, n)
+		got := a.PermInto(buf)
+		want := b.Perm(n)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: length mismatch %d vs %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: PermInto[%d] = %d, Perm[%d] = %d", n, i, got[i], i, want[i])
+			}
+		}
+		if *a != *b {
+			t.Fatalf("n=%d: stream state diverged", n)
+		}
+	}
+}
+
+func TestBulkZeroAllocs(t *testing.T) {
+	s := New(9)
+	streams := make([]Stream, 32)
+	for i := range streams {
+		streams[i] = s.SplitValue(uint64(i))
+	}
+	draws := make([]uint64, 32)
+	floats := make([]float64, 32)
+	perm := make([]int, 32)
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Uint64nBulk", func() { s.Uint64nBulk(6, draws) }},
+		{"FloatBulk", func() { s.FloatBulk(floats) }},
+		{"Uint64nEach", func() { Uint64nEach(streams, 6, draws) }},
+		{"FloatEach", func() { FloatEach(streams, floats) }},
+		{"PermInto", func() { s.PermInto(perm) }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(100, c.f); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", c.name, allocs)
+		}
+	}
+}

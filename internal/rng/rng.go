@@ -14,7 +14,10 @@
 // coordination.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Stream is a deterministic pseudo-random number generator
 // (xoshiro256**). The zero value is not usable; construct streams with
@@ -126,31 +129,22 @@ func (s *Stream) Uint64n(n uint64) uint64 {
 	// Lemire's method: multiply-shift with rejection of the biased
 	// low fringe.
 	x := s.Uint64()
-	hi, lo := mul64(x, n)
+	hi, lo := bits.Mul64(x, n)
 	if lo < n {
 		thresh := -n % n
 		for lo < thresh {
 			x = s.Uint64()
-			hi, lo = mul64(x, n)
+			hi, lo = bits.Mul64(x, n)
 		}
 	}
 	return hi
 }
 
-// mul64 returns the 128-bit product of x and y as (hi, lo).
-func mul64(x, y uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	x0, x1 := x&mask32, x>>32
-	y0, y1 := y&mask32, y>>32
-	w0 := x0 * y0
-	t := x1*y0 + w0>>32
-	w1 := t & mask32
-	w2 := t >> 32
-	w1 += x0 * y1
-	hi = x1*y1 + w2 + w1>>32
-	lo = x * y
-	return hi, lo
-}
+// mul64 returns the 128-bit product of x and y as (hi, lo). It is the
+// single-instruction bits.Mul64 intrinsic; the hand-rolled 32-bit
+// decomposition it replaced computed the identical value at several
+// times the cost, which dominated every bounded draw on the hot path.
+func mul64(x, y uint64) (hi, lo uint64) { return bits.Mul64(x, y) }
 
 // Float64 returns a uniformly random float64 in [0, 1) with 53 bits of
 // precision.
@@ -244,11 +238,24 @@ func (s *Stream) NormFloat64() float64 {
 // Perm returns a uniformly random permutation of [0, n) as a slice,
 // generated by the Fisher-Yates shuffle.
 func (s *Stream) Perm(n int) []int {
-	p := make([]int, n)
+	return s.PermInto(make([]int, n))
+}
+
+// PermInto fills p with a uniformly random permutation of
+// [0, len(p)) and returns it — Perm writing into a caller-owned
+// buffer, so periodic reshuffles (adversary selection, load
+// randomization) allocate nothing. The draw sequence and resulting
+// permutation are identical to Perm(len(p))'s for the same stream
+// state. The swap loop is Shuffle's, inlined so the swap callback
+// cannot force p to escape.
+func (s *Stream) PermInto(p []int) []int {
 	for i := range p {
 		p[i] = i
 	}
-	s.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
 	return p
 }
 

@@ -45,6 +45,45 @@ func TestStepAndCountZeroAllocs(t *testing.T) {
 	})
 }
 
+// TestBatchedPoliciesZeroAllocs pins the batched-RNG stepping paths
+// (bulk draw/float fills into the SoA scratch buffers) for every
+// policy with a batched kernel, plus a large dense world whose
+// incremental index updates span a multi-megabyte cell array.
+func TestBatchedPoliciesZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	biased, err := NewBiased([]float64{2, 1, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range []struct {
+		name   string
+		policy Policy
+	}{
+		{"randomwalk", RandomWalk{}},
+		{"lazy", Lazy{StayProb: 0.35}},
+		{"biased", biased},
+	} {
+		w := MustWorld(Config{Graph: topology.MustTorus(2, 64), NumAgents: 4096, Seed: 8, Policy: pl.policy})
+		w.Count(0)
+		requireZeroAllocs(t, "Step batched/"+pl.name, func() {
+			w.Step()
+			_ = w.Count(5)
+		})
+	}
+
+	// torus2d-1024 has 1<<20 cells (8 MiB of dense index, far over
+	// cache) and stays on the dense index.
+	big := MustWorld(Config{Graph: topology.MustTorus(2, 1024), NumAgents: 8192, Seed: 9})
+	big.SetTagged(1, true)
+	big.Count(0)
+	requireZeroAllocs(t, "Step (large dense applyMoves)", func() {
+		big.Step()
+		_ = big.Count(7)
+	})
+}
+
 func TestStepParallelZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under -race")

@@ -13,9 +13,35 @@
 // results regardless of scheduling. The invariant is load-bearing and
 // guarded by property tests: for a fixed seed, positions and all count
 // queries are identical whether the world steps serially or with any
-// StepParallel worker count, whether policies take the scalar or the
-// BulkStepper fast path, and whether the occupancy index is dense or
-// sparse.
+// StepParallel worker count, whether policies take the scalar, fused
+// (BulkStepper), or batched-RNG fast path, and whether the occupancy
+// index is dense or sparse.
+//
+// # Hot-state layout and batched randomness
+//
+// The per-round hot state is a strict structure of arrays (soa.go):
+// positions, previous positions, and per-agent RNG streams are
+// parallel flat slices indexed by agent id (World embeds hotState),
+// so stepping kernels stream through contiguous memory with no
+// per-agent pointer chasing. The batched kernels (stepBatched) split
+// each round into two passes over that layout: rng.Uint64nEach /
+// rng.FloatEach bulk-fill one draw per agent stream into scratch
+// buffers reused for the world's lifetime, then the topology
+// fast-path kernels (RandomStepsInto) turn draws into moves with
+// arithmetic only — no interface dispatch, no data-dependent branches
+// on the torus. The bulk fills obey a strict bit-identity contract:
+// they advance each agent's stream exactly as the equivalent scalar
+// draws would, including bounded-rejection behavior, so per-agent
+// draw sequences — and therefore all positions and counts — are
+// independent of which path executed. Scratch buffers are allocated
+// once by ensureScratch (policy- and graph-gated), keeping the
+// batched path at zero allocations per round.
+//
+// StepParallel splits agents into per-worker chunks rounded up to
+// chunkAlign = 8 agents — one 64-byte cache line of int64 positions —
+// so no two workers write the same cache line (no false sharing).
+// Chunk boundaries never affect results, by the determinism
+// invariant.
 //
 // # Occupancy index selection
 //
@@ -24,14 +50,19 @@
 // the dense memory budget (at most 1<<22 nodes, 32 MiB of cells), the
 // index is a flat []cell array indexed by node id; larger graphs —
 // including the paper's "A larger than the area agents traverse"
-// regime with 10^12-node tori — use a sparse map keyed by occupied
-// node. Config.Occupancy can force either choice (OccDense, OccSparse)
-// for testing or tuning; OccAuto applies the budget rule. Both
-// representations are maintained incrementally while the world steps:
-// once a count query has built the index, each subsequent round only
-// decrements the cell an agent left and increments the cell it
-// entered, so Count/CountTagged/CountInGroup never trigger an
-// O(agents) rebuild and allocate nothing in steady state.
+// regime with 10^12-node tori — use a sparse open-addressing table
+// keyed by occupied node, stored as split key/cell arrays so probe
+// loops touch 8-byte key slots and bulk queries batch their probe
+// sequences (totalsInto). Config.Occupancy can force either choice
+// (OccDense, OccSparse) for testing or tuning; OccAuto applies the
+// budget rule. Both representations are maintained incrementally
+// while the world steps: once a count query has built the index, each
+// subsequent round only decrements the cell an agent left and
+// increments the cell it entered, so Count/CountTagged/CountInGroup
+// never trigger an O(agents) rebuild and allocate nothing in steady
+// state. The dense update is a plain in-order scatter on purpose: a
+// cache-blocked counting-sort variant was measured and lost at every
+// reachable size (see applyMoves).
 //
 // # BulkStepper fast path
 //
@@ -46,7 +77,9 @@
 // hoisted and the Policy.Step → Graph.Neighbor interface dispatch
 // devirtualized into arithmetic-only inner loops; irregular graphs and
 // worlds with per-agent policy overrides (SetPolicy) use the scalar
-// path.
+// path. Within a uniform-policy range the world prefers the batched
+// two-pass kernels above, then a policy's fused StepMany, then scalar
+// Step calls — all three bit-identical.
 //
 // StepParallel distributes either path across a persistent worker pool
 // that is created lazily on first use and reused every round, so

@@ -9,13 +9,15 @@ import (
 )
 
 // TestFastPathBitIdentical is the equivalence bar for the hot-path
-// rewrite: across all four regular topology families and all five
-// built-in policies, on randomized worlds with random tag sets and
-// group assignments, a world using the dense occupancy index and the
-// BulkStepper fast path (plus the persistent parallel pool) must be
+// rewrite: across the regular topology families plus irregular and
+// regular-multigraph CSR graphs, and all five built-in policies, on
+// randomized worlds with random tag sets and group assignments, worlds
+// on every execution path — batched RNG (dense index), batched +
+// parallel pool, and fused non-batched StepMany — must be
 // bit-identical — positions, rounds, and every count variant — to a
 // reference world forced onto the sparse map and the scalar per-agent
-// stepping path.
+// stepping path. The matrix is batched-vs-fused-vs-scalar RNG ×
+// dense-vs-sparse occupancy × serial-vs-parallel execution.
 func TestFastPathBitIdentical(t *testing.T) {
 	topologies := []struct {
 		name string
@@ -42,6 +44,22 @@ func TestFastPathBitIdentical(t *testing.T) {
 			}
 			for v := int64(0); v < n; v += 4 {
 				edges = append(edges, topology.Edge{U: v, V: (v + n/2) % n})
+			}
+			return topology.MustAdj(n, edges)
+		}},
+		{name: "multigraph", make: func() topology.Graph {
+			// A *regular* CSR multigraph — a 24-cycle with every edge
+			// doubled plus a self-loop per node (degree 5 everywhere) —
+			// so the batched CSR kernel (which requires regularity)
+			// engages, with self-loops and multi-edges in play.
+			const n = 24
+			edges := make([]topology.Edge, 0, 3*n)
+			for v := int64(0); v < n; v++ {
+				next := (v + 1) % n
+				edges = append(edges,
+					topology.Edge{U: v, V: next},
+					topology.Edge{U: v, V: next},
+					topology.Edge{U: v, V: v})
 			}
 			return topology.MustAdj(n, edges)
 		}},
@@ -85,6 +103,10 @@ func TestFastPathBitIdentical(t *testing.T) {
 						Graph: g, NumAgents: agents, Seed: seed,
 						Policy: pl.make(t), Occupancy: OccDense,
 					})
+					fused := MustWorld(Config{
+						Graph: g, NumAgents: agents, Seed: seed,
+						Policy: pl.make(t), Occupancy: OccDense,
+					})
 					// Re-setting each agent's policy clears the
 					// uniform-policy invariant, pinning slow to the
 					// scalar per-agent stepping path.
@@ -92,10 +114,15 @@ func TestFastPathBitIdentical(t *testing.T) {
 					for i := 0; i < agents; i++ {
 						slow.SetPolicy(i, scalarPolicy)
 					}
+					// Suppressing the SoA scratch buffers pins fused to
+					// the non-batched StepMany kernels, completing the
+					// batched x fused x scalar RNG-path column.
+					fused.scratchReady = true
+					fused.draws, fused.floats = nil, nil
 					for i := 0; i < agents; i++ {
 						tagOn := s.Bernoulli(0.3)
 						grp := s.Intn(3)
-						for _, w := range []*World{fast, slow, par} {
+						for _, w := range []*World{fast, slow, par, fused} {
 							w.SetTagged(i, tagOn)
 							w.SetGroup(i, grp)
 						}
@@ -104,9 +131,11 @@ func TestFastPathBitIdentical(t *testing.T) {
 						fast.Step()
 						slow.Step()
 						par.StepParallel(3)
+						fused.Step()
 						ctx := fmt.Sprintf("%s/%s case %d round %d", tp.name, pl.name, c, r)
-						compareWorlds(t, slow, fast, ctx+" dense+bulk")
-						compareWorlds(t, slow, par, ctx+" dense+bulk+parallel")
+						compareWorlds(t, slow, fast, ctx+" dense+batched")
+						compareWorlds(t, slow, par, ctx+" dense+batched+parallel")
+						compareWorlds(t, slow, fused, ctx+" dense+fused")
 						if t.Failed() {
 							return
 						}

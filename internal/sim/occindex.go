@@ -107,6 +107,17 @@ func (w *World) rebuildOcc() {
 // for every agent whose position changed, decrement the cell it left
 // and increment the cell it entered. Cost is O(agents) arithmetic with
 // no rebuild, no clearing, and no steady-state allocation.
+//
+// The dense branch is a deliberately plain scatter. A cache-blocked
+// variant (pack the round's ±1 deltas, counting-sort them by 64 KiB
+// cell block, apply block by block — sound because the deltas
+// commute) was implemented and measured for PR 8 and LOST at every
+// reachable dense size, including the 1<<22-cell OccAuto maximum and
+// a forced-dense 1<<24-cell array: the sort's three extra streaming
+// passes cost more bandwidth than the scattered misses they save,
+// because out-of-order execution already overlaps those misses.
+// BENCH_PR8.json records the numbers; don't re-add blocking without
+// beating them.
 func (w *World) applyMoves() {
 	anyGroups := len(w.numGroup) > 0
 	if d := w.occ.dense; d != nil {

@@ -10,23 +10,25 @@ package sim
 // (no tombstones), so the steady-state hot path performs zero
 // allocations and probe chains never degrade over time.
 //
+// Keys and cells live in split parallel arrays (structure-of-arrays):
+// probing touches only the keys array — 8 bytes per slot instead of
+// the 16 of a key+cell pair — so a probe sequence covers half the
+// cache lines, and the cells array is read exactly once per query, on
+// the matching slot.
+//
 // Capacity invariant: the table holds at most one entry per agent
 // (cells are deleted the moment they empty), and capacity is fixed at
 // ≥ 4× the agent count, so the load factor never exceeds 1/4 and the
 // table never grows.
 type occTable struct {
-	slots []occSlot
+	keys  []int64
+	cells []cell
 	mask  uint64
 	used  int
 }
 
-// occSlot is one table entry. key == emptyKey marks a free slot; node
-// ids are non-negative, so the sentinel can never collide.
-type occSlot struct {
-	key  int64
-	cell cell
-}
-
+// emptyKey marks a free slot; node ids are non-negative, so the
+// sentinel can never collide.
 const emptyKey = int64(-1)
 
 // newOccTable returns a table sized for the given agent count.
@@ -35,15 +37,20 @@ func newOccTable(agents int) *occTable {
 	for capacity < 4*agents && capacity < 1<<62 {
 		capacity <<= 1
 	}
-	t := &occTable{slots: make([]occSlot, capacity), mask: uint64(capacity) - 1}
+	t := &occTable{
+		keys:  make([]int64, capacity),
+		cells: make([]cell, capacity),
+		mask:  uint64(capacity) - 1,
+	}
 	t.reset()
 	return t
 }
 
-// reset empties the table.
+// reset empties the table. Cells need no clearing: a cell is read only
+// through a matching key, and inc initializes it on insertion.
 func (t *occTable) reset() {
-	for i := range t.slots {
-		t.slots[i] = occSlot{key: emptyKey}
+	for i := range t.keys {
+		t.keys[i] = emptyKey
 	}
 	t.used = 0
 }
@@ -63,12 +70,83 @@ func (t *occTable) home(p int64) uint64 {
 // get returns the cell for node p (zero if unoccupied).
 func (t *occTable) get(p int64) cell {
 	for i := t.home(p); ; i = (i + 1) & t.mask {
-		s := &t.slots[i]
-		if s.key == p {
-			return s.cell
+		k := t.keys[i]
+		if k == p {
+			return t.cells[i]
 		}
-		if s.key == emptyKey {
+		if k == emptyKey {
 			return cell{}
+		}
+	}
+}
+
+// probeBlock is the batch width of the bulk lookup kernels: hash homes
+// for a block of queries are computed in one tight pass, then the
+// probe loops run back to back, so the independent key loads of up to
+// probeBlock probe chains are in flight together instead of
+// serializing behind one query's hash-load-compare chain.
+const probeBlock = 32
+
+// totalsInto fills out[j] with the total occupancy at pos[j] (zero for
+// unoccupied nodes) — the batched-probe twin of get for bulk count
+// snapshots. out must have at least len(pos) elements.
+func (t *occTable) totalsInto(pos []int64, out []int) {
+	_ = out[:len(pos)]
+	var homes [probeBlock]uint64
+	for base := 0; base < len(pos); base += probeBlock {
+		n := len(pos) - base
+		if n > probeBlock {
+			n = probeBlock
+		}
+		for j := 0; j < n; j++ {
+			homes[j] = t.home(pos[base+j])
+		}
+		for j := 0; j < n; j++ {
+			p := pos[base+j]
+			i := homes[j]
+			for {
+				k := t.keys[i]
+				if k == p {
+					out[base+j] = int(t.cells[i].total)
+					break
+				}
+				if k == emptyKey {
+					out[base+j] = 0
+					break
+				}
+				i = (i + 1) & t.mask
+			}
+		}
+	}
+}
+
+// taggedInto is totalsInto for the tagged counter.
+func (t *occTable) taggedInto(pos []int64, out []int) {
+	_ = out[:len(pos)]
+	var homes [probeBlock]uint64
+	for base := 0; base < len(pos); base += probeBlock {
+		n := len(pos) - base
+		if n > probeBlock {
+			n = probeBlock
+		}
+		for j := 0; j < n; j++ {
+			homes[j] = t.home(pos[base+j])
+		}
+		for j := 0; j < n; j++ {
+			p := pos[base+j]
+			i := homes[j]
+			for {
+				k := t.keys[i]
+				if k == p {
+					out[base+j] = int(t.cells[i].tagged)
+					break
+				}
+				if k == emptyKey {
+					out[base+j] = 0
+					break
+				}
+				i = (i + 1) & t.mask
+			}
 		}
 	}
 }
@@ -76,25 +154,26 @@ func (t *occTable) get(p int64) cell {
 // inc adds one agent (tagged or not) to node p's cell.
 func (t *occTable) inc(p int64, tagged bool) {
 	for i := t.home(p); ; i = (i + 1) & t.mask {
-		s := &t.slots[i]
-		if s.key == p {
-			s.cell.total++
+		k := t.keys[i]
+		if k == p {
+			t.cells[i].total++
 			if tagged {
-				s.cell.tagged++
+				t.cells[i].tagged++
 			}
 			return
 		}
-		if s.key == emptyKey {
-			if 4*(t.used+1) > len(t.slots) {
+		if k == emptyKey {
+			if 4*(t.used+1) > len(t.keys) {
 				// Unreachable while the capacity invariant holds
 				// (entries ≤ agents ≤ capacity/4).
 				panic("sim: occupancy table overfull")
 			}
-			s.key = p
-			s.cell = cell{total: 1}
+			t.keys[i] = p
+			c := cell{total: 1}
 			if tagged {
-				s.cell.tagged = 1
+				c.tagged = 1
 			}
+			t.cells[i] = c
 			t.used++
 			return
 		}
@@ -105,15 +184,14 @@ func (t *occTable) inc(p int64, tagged bool) {
 // the cell when it empties. The caller guarantees p is present.
 func (t *occTable) dec(p int64, tagged bool) {
 	for i := t.home(p); ; i = (i + 1) & t.mask {
-		s := &t.slots[i]
-		if s.key != p {
+		if t.keys[i] != p {
 			continue
 		}
-		s.cell.total--
+		t.cells[i].total--
 		if tagged {
-			s.cell.tagged--
+			t.cells[i].tagged--
 		}
-		if s.cell.total == 0 {
+		if t.cells[i].total == 0 {
 			t.deleteAt(i)
 			t.used--
 		}
@@ -125,8 +203,8 @@ func (t *occTable) dec(p int64, tagged bool) {
 // The caller guarantees p is present (an agent stands there).
 func (t *occTable) addTag(p int64, delta int32) {
 	for i := t.home(p); ; i = (i + 1) & t.mask {
-		if s := &t.slots[i]; s.key == p {
-			s.cell.tagged += delta
+		if t.keys[i] == p {
+			t.cells[i].tagged += delta
 			return
 		}
 	}
@@ -138,15 +216,15 @@ func (t *occTable) addTag(p int64, delta int32) {
 // its home slot across the gap is moved into the gap.
 func (t *occTable) deleteAt(i uint64) {
 	for {
-		t.slots[i] = occSlot{key: emptyKey}
+		t.keys[i] = emptyKey
 		j := i
 		for {
 			j = (j + 1) & t.mask
-			s := &t.slots[j]
-			if s.key == emptyKey {
+			k := t.keys[j]
+			if k == emptyKey {
 				return
 			}
-			h := t.home(s.key)
+			h := t.home(k)
 			// Entries whose home lies cyclically in (i, j] are still
 			// reachable with the gap at i; anything else must shift.
 			var reachable bool
@@ -156,7 +234,8 @@ func (t *occTable) deleteAt(i uint64) {
 				reachable = h > i || h <= j
 			}
 			if !reachable {
-				t.slots[i] = *s
+				t.keys[i] = k
+				t.cells[i] = t.cells[j]
 				i = j
 				break
 			}

@@ -37,9 +37,11 @@ func (w *World) CountsAllInto(dst []int) []int {
 		}
 		return out
 	}
-	t := w.occ.sparse
-	for i, p := range w.pos {
-		out[i] = int(t.get(p).total) - 1
+	// Batched probe sequences: every agent stands on an occupied node,
+	// so totalsInto's totals are ≥ 1 and subtracting self is exact.
+	w.occ.sparse.totalsInto(w.pos, out)
+	for i := range out {
+		out[i]--
 	}
 	return out
 }
@@ -78,13 +80,11 @@ func (w *World) CountsTaggedAllInto(dst []int) []int {
 		}
 		return out
 	}
-	t := w.occ.sparse
-	for i, p := range w.pos {
-		c := int(t.get(p).tagged)
+	w.occ.sparse.taggedInto(w.pos, out)
+	for i := range out {
 		if w.tagged[i] {
-			c--
+			out[i]--
 		}
-		out[i] = c
 	}
 	return out
 }

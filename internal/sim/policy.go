@@ -103,11 +103,18 @@ func NewBiased(weights []float64) (*Biased, error) {
 	return &Biased{Weights: weights, cumulative: cum, total: total}, nil
 }
 
-// sample draws a neighbor index proportionally to the weights. Both
-// the scalar Step and the bulk StepMany go through it, so the two
-// paths consume identical randomness.
+// sample draws a neighbor index proportionally to the weights. The
+// scalar Step, the fused StepMany, and the batched path all reduce to
+// pick over one uniform draw, so every path consumes identical
+// randomness.
 func (b *Biased) sample(s *rng.Stream) int {
-	x := s.Float64() * b.total
+	return b.pick(s.Float64())
+}
+
+// pick maps one uniform [0,1) draw to a neighbor index via the
+// cumulative weight table.
+func (b *Biased) pick(u float64) int {
+	x := u * b.total
 	for i, c := range b.cumulative {
 		if x < c {
 			return i

@@ -69,7 +69,12 @@ func (p *stepPool) work(g int, signal <-chan struct{}) {
 // so an idle pool keeps nothing alive but itself.
 func (p *stepPool) step(w *World) {
 	k := len(p.signal)
-	p.job = stepJob{w: w, chunk: (len(w.pos) + k - 1) / k, n: len(w.pos)}
+	// Round chunks up to chunkAlign agents so no two workers share a
+	// cache line of the SoA arrays (see soa.go); trailing workers whose
+	// range starts past n simply idle.
+	chunk := (len(w.pos) + k - 1) / k
+	chunk = (chunk + chunkAlign - 1) &^ (chunkAlign - 1)
+	p.job = stepJob{w: w, chunk: chunk, n: len(w.pos)}
 	for _, ch := range p.signal {
 		ch <- struct{}{}
 	}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"antdensity/internal/rng"
+	"antdensity/internal/topology"
+)
+
+// hotState is the structure-of-arrays layout of everything the inner
+// round loop touches per agent: parallel flat slices indexed by agent
+// id. Positions, previous positions, and RNG streams are the
+// authoritative state; draws and floats are caller-owned scratch
+// buffers the batched RNG kernels fill one worker chunk per round
+// (allocated lazily by ensureScratch, only for policy/topology pairs
+// with a batched path). The per-agent active mask of the observation
+// pipeline lives in Round.active, completing the SoA set.
+//
+// World embeds hotState anonymously, so w.pos[i], w.prev[i],
+// w.streams[i], w.draws[i], and w.floats[i] are always element i of
+// parallel arrays — the invariant the worker pool's chunking and the
+// batched kernels rely on.
+type hotState struct {
+	pos          []int64
+	prev         []int64 // previous round's positions, for incremental occupancy updates
+	streams      []rng.Stream
+	draws        []uint64  // scratch: one bounded draw per agent per round
+	floats       []float64 // scratch: one uniform [0,1) draw per agent per round
+	scratchReady bool
+}
+
+// chunkAlign is the agent-count granularity of worker-pool chunk
+// boundaries. Eight 8-byte elements span one 64-byte cache line, so
+// rounding chunk sizes up to a multiple of chunkAlign guarantees no
+// two workers ever write the same cache line of pos, prev, draws, or
+// floats (streams are 32 bytes, so a multiple of 8 covers them too) —
+// no false sharing, regardless of worker count.
+const chunkAlign = 8
+
+// ensureScratch sizes the batched-RNG scratch buffers for the world's
+// uniform policy, once. Worlds with per-agent policy overrides, or
+// policy/topology pairs with no batched kernel, allocate nothing and
+// keep using the fused scalar kernels. Called before stepping; the
+// buffers are sized for all agents so any worker-chunk subslice
+// [lo:hi) is valid.
+func (w *World) ensureScratch() {
+	if w.scratchReady {
+		return
+	}
+	w.scratchReady = true
+	switch pl := w.uniform.(type) {
+	case RandomWalk:
+		if fixedDrawBound(w.graph) {
+			w.draws = make([]uint64, len(w.pos))
+		}
+	case Lazy:
+		switch {
+		case pl.StayProb <= 0:
+			// Bernoulli consumes no draw at p <= 0; the policy is a
+			// plain random walk and batches through draws alone.
+			if fixedDrawBound(w.graph) {
+				w.draws = make([]uint64, len(w.pos))
+			}
+		case pl.StayProb < 1:
+			if batchedGraph(w.graph) {
+				w.floats = make([]float64, len(w.pos))
+			}
+			// p >= 1 consumes no randomness at all: nothing to batch.
+		}
+	case *Biased:
+		if r, ok := w.graph.(topology.Regular); ok && len(pl.cumulative) <= r.CommonDegree() {
+			switch w.graph.(type) {
+			case *topology.Torus, *topology.Hypercube, *topology.Complete:
+				w.floats = make([]float64, len(w.pos))
+			}
+		}
+	}
+}
+
+// fixedDrawBound reports whether g supports batched uniform steps: a
+// single draw bound valid at every node (the arithmetic regular
+// topologies, and CSR graphs that are regular with positive degree).
+func fixedDrawBound(g topology.Graph) bool {
+	switch t := g.(type) {
+	case *topology.Torus, *topology.Hypercube, *topology.Complete:
+		return true
+	case *topology.Adj:
+		d, ok := t.IsRegular()
+		return ok && d > 0
+	}
+	return false
+}
+
+// batchedGraph reports whether g has any devirtualized kernel the
+// float-batching policies (Lazy) can pair with.
+func batchedGraph(g topology.Graph) bool {
+	switch g.(type) {
+	case *topology.Torus, *topology.Hypercube, *topology.Complete, *topology.Adj:
+		return true
+	}
+	return false
+}
+
+// stepBatched advances agents [lo, hi) using batched RNG fills into
+// the scratch buffers, reporting false (with state untouched) when the
+// policy/topology pair has no batched path or scratch was not
+// provisioned. Draw consumption per agent stream is identical to the
+// scalar and fused paths — rng.Uint64nEach/FloatEach make exactly the
+// draws the per-agent calls would — so all three paths are
+// interchangeable bit for bit.
+func (w *World) stepBatched(p Policy, lo, hi int) bool {
+	switch pl := p.(type) {
+	case RandomWalk:
+		return w.randomWalkBatched(lo, hi)
+	case Lazy:
+		if pl.StayProb <= 0 {
+			return w.randomWalkBatched(lo, hi)
+		}
+		if pl.StayProb >= 1 || w.floats == nil {
+			return false
+		}
+		return w.lazyBatched(pl.StayProb, lo, hi)
+	case *Biased:
+		return w.biasedBatched(pl, lo, hi)
+	}
+	return false
+}
+
+// randomWalkBatched is stepBatched's uniform-random-walk kernel: one
+// bulk bounded-draw fill, one arithmetic apply pass.
+func (w *World) randomWalkBatched(lo, hi int) bool {
+	if w.draws == nil {
+		return false
+	}
+	pos, streams, draws := w.pos[lo:hi], w.streams[lo:hi], w.draws[lo:hi]
+	switch t := w.graph.(type) {
+	case *topology.Torus:
+		t.RandomStepsInto(pos, streams, draws)
+	case *topology.Hypercube:
+		t.RandomStepsInto(pos, streams, draws)
+	case *topology.Complete:
+		t.RandomStepsInto(pos, streams, draws)
+	case *topology.Adj:
+		return t.RandomStepsInto(pos, streams, draws)
+	default:
+		return false
+	}
+	return true
+}
+
+// lazyBatched batches the stay/move coins of Lazy with 0 < p < 1: one
+// FloatEach fill for the coins, then a move pass drawing each mover's
+// neighbor from its own stream. Coin k compares f[k] < p exactly as
+// Bernoulli does, and movers draw in agent order, so consumption per
+// stream matches the fused loop draw for draw.
+func (w *World) lazyBatched(stayProb float64, lo, hi int) bool {
+	pos, streams, f := w.pos[lo:hi], w.streams[lo:hi], w.floats[lo:hi]
+	switch t := w.graph.(type) {
+	case *topology.Torus:
+		rng.FloatEach(streams, f)
+		deg := t.CommonDegree()
+		for k, x := range f {
+			if x >= stayProb {
+				pos[k] = t.NeighborUnchecked(pos[k], streams[k].Intn(deg))
+			}
+		}
+	case *topology.Hypercube:
+		rng.FloatEach(streams, f)
+		deg := t.CommonDegree()
+		for k, x := range f {
+			if x >= stayProb {
+				pos[k] = t.NeighborUnchecked(pos[k], streams[k].Intn(deg))
+			}
+		}
+	case *topology.Complete:
+		rng.FloatEach(streams, f)
+		deg := t.CommonDegree()
+		for k, x := range f {
+			if x >= stayProb {
+				pos[k] = t.NeighborUnchecked(pos[k], streams[k].Intn(deg))
+			}
+		}
+	case *topology.Adj:
+		rng.FloatEach(streams, f)
+		for k, x := range f {
+			if x >= stayProb {
+				pos[k] = t.RandomStepFrom(pos[k], &streams[k])
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// biasedBatched batches Biased's weighted direction draws: one
+// FloatEach fill, then table lookups through the same cumulative
+// search as the scalar sample.
+func (w *World) biasedBatched(b *Biased, lo, hi int) bool {
+	if w.floats == nil {
+		return false
+	}
+	r, ok := w.graph.(topology.Regular)
+	if !ok || len(b.cumulative) > r.CommonDegree() {
+		return false
+	}
+	pos, streams, f := w.pos[lo:hi], w.streams[lo:hi], w.floats[lo:hi]
+	switch t := w.graph.(type) {
+	case *topology.Torus:
+		rng.FloatEach(streams, f)
+		for k, x := range f {
+			pos[k] = t.NeighborUnchecked(pos[k], b.pick(x))
+		}
+	case *topology.Hypercube:
+		rng.FloatEach(streams, f)
+		for k, x := range f {
+			pos[k] = t.NeighborUnchecked(pos[k], b.pick(x))
+		}
+	case *topology.Complete:
+		rng.FloatEach(streams, f)
+		for k, x := range f {
+			pos[k] = t.NeighborUnchecked(pos[k], b.pick(x))
+		}
+	default:
+		return false
+	}
+	return true
+}

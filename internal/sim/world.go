@@ -98,11 +98,9 @@ type World struct {
 	graph    topology.Graph
 	policies []Policy
 	uniform  Policy // shared policy when no SetPolicy override exists; enables bulk stepping
-	pos      []int64
-	prev     []int64 // previous round's positions, for incremental occupancy updates
+	hotState          // SoA per-agent state: pos/prev/streams + batched-RNG scratch (see soa.go)
 	tagged   []bool
 	groups   []int32
-	streams  []rng.Stream
 	occ      occupancy
 	occDirty bool
 	round    int
@@ -152,11 +150,13 @@ func NewWorld(cfg Config) (*World, error) {
 		graph:    cfg.Graph,
 		policies: make([]Policy, cfg.NumAgents),
 		uniform:  policy,
-		pos:      make([]int64, cfg.NumAgents),
-		prev:     make([]int64, cfg.NumAgents),
+		hotState: hotState{
+			pos:     make([]int64, cfg.NumAgents),
+			prev:    make([]int64, cfg.NumAgents),
+			streams: make([]rng.Stream, cfg.NumAgents),
+		},
 		tagged:   make([]bool, cfg.NumAgents),
 		groups:   make([]int32, cfg.NumAgents),
-		streams:  make([]rng.Stream, cfg.NumAgents),
 		numGroup: make(map[int32]int),
 	}
 	if err := w.initOcc(cfg.Occupancy, cfg.NumAgents); err != nil {
@@ -266,6 +266,9 @@ func (w *World) TaggedDensityFor(i int) float64 {
 // per agent.
 func (w *World) stepRange(lo, hi int) {
 	if p := w.uniform; p != nil {
+		if w.stepBatched(p, lo, hi) {
+			return
+		}
 		if b, ok := p.(BulkStepper); ok && b.StepMany(w.graph, w.pos[lo:hi], w.streams[lo:hi]) {
 			return
 		}
@@ -286,6 +289,7 @@ func (w *World) stepRange(lo, hi int) {
 // occupancy index is live it is updated incrementally; worlds that
 // never query counts pay nothing for it.
 func (w *World) Step() {
+	w.ensureScratch()
 	track := !w.occDirty
 	if track {
 		copy(w.prev, w.pos)
@@ -308,6 +312,7 @@ func (w *World) StepParallel(workers int) {
 		w.Step()
 		return
 	}
+	w.ensureScratch()
 	track := !w.occDirty
 	if track {
 		copy(w.prev, w.pos)

@@ -1,0 +1,23 @@
+package topology
+
+import "math/bits"
+
+// fastDiv returns v / d for 0 <= v < 2^63, given the precomputed
+// reciprocal m = ^uint64(0) / d. It replaces a ~25-cycle hardware
+// division with one multiply-high and at most one correction.
+//
+// Correctness: write 2^64 - 1 = m*d + r with 0 <= r < d. Then
+//
+//	v*m / 2^64 = v/d - v*(1+r) / (d * 2^64)
+//
+// and the error term is at most v/2^64 < 1/2 for v < 2^63, so
+// bits.Mul64's high word is either floor(v/d) or floor(v/d) - 1;
+// the remainder check repairs the latter. Torus node ids are
+// non-negative int64, so the v < 2^63 precondition always holds.
+func fastDiv(v, d, m uint64) uint64 {
+	q, _ := bits.Mul64(v, m)
+	if v-q*d >= d {
+		q++
+	}
+	return q
+}

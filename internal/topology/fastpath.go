@@ -107,6 +107,88 @@ func (c *Complete) RandomSteps(pos []int64, streams []rng.Stream) {
 	}
 }
 
+// RandomStepsInto is RandomSteps with the draws batched: one
+// rng.Uint64nEach fill (one bounded draw per agent stream, written to
+// the caller-owned draws buffer) followed by an arithmetic-only apply
+// loop. Draw consumption per stream is identical to RandomSteps and
+// RandomStep, so the batched and scalar paths are interchangeable bit
+// for bit; draws must have at least len(pos) elements, and pos,
+// streams, and draws must be indexed alike.
+func (t *Torus) RandomStepsInto(pos []int64, streams []rng.Stream, draws []uint64) {
+	rng.Uint64nEach(streams, uint64(2*t.dims), draws)
+	if t.dims == 2 {
+		// The paper's sqrt(A) x sqrt(A) grid is the headline benchmark;
+		// specialize it so each apply step costs one fastDiv, with the
+		// coordinate (x for dim 0, y for dim 1) and its stride selected
+		// by mask — the drawn dimension is random, so a branch on it
+		// would mispredict half the time.
+		side, rs := uint64(t.side), t.recipSide
+		for k, d := range draws {
+			v := uint64(pos[k])
+			delta := int64(1) - int64(d&1)<<1
+			y := int64(fastDiv(v, side, rs))
+			x := int64(v) - y*t.side
+			dimMask := -int64(d >> 1) // 0 for dim 0, -1 for dim 1
+			coord := x ^ ((x ^ y) & dimMask)
+			stride := int64(1) ^ ((int64(1) ^ t.side) & dimMask)
+			next := coord + delta
+			switch {
+			case next == t.side:
+				next = 0
+			case next < 0:
+				next = t.side - 1
+			}
+			pos[k] += (next - coord) * stride
+		}
+		return
+	}
+	for k, d := range draws {
+		i := int(d)
+		pos[k] = t.step(pos[k], i>>1, 1-int64(i&1)<<1)
+	}
+}
+
+// RandomStepsInto is RandomSteps with the draws batched; see
+// (*Torus).RandomStepsInto.
+func (h *Hypercube) RandomStepsInto(pos []int64, streams []rng.Stream, draws []uint64) {
+	rng.Uint64nEach(streams, uint64(h.bits), draws)
+	for k, d := range draws {
+		pos[k] ^= 1 << uint(d)
+	}
+}
+
+// RandomStepsInto is RandomSteps with the draws batched; see
+// (*Torus).RandomStepsInto.
+func (c *Complete) RandomStepsInto(pos []int64, streams []rng.Stream, draws []uint64) {
+	rng.Uint64nEach(streams, uint64(c.nodes-1), draws)
+	for k, d := range draws {
+		j := int64(d)
+		if j >= pos[k] {
+			j++
+		}
+		pos[k] = j
+	}
+}
+
+// RandomStepsInto is RandomSteps with the draws batched, possible for
+// the CSR graph only when it is regular (a fixed draw bound holds for
+// every node); it reports false without touching anything otherwise,
+// and callers fall back to the fused RandomSteps kernel. Regular
+// graphs with isolated nodes do not exist (degree 0 everywhere means
+// no edges, degree > 0 somewhere breaks regularity), so the
+// isolated-node no-draw rule of RandomStep cannot diverge here.
+func (g *Adj) RandomStepsInto(pos []int64, streams []rng.Stream, draws []uint64) bool {
+	if g.regular <= 0 {
+		return false
+	}
+	rng.Uint64nEach(streams, uint64(g.regular), draws)
+	offsets, neighbors := g.offsets, g.neighbors
+	for k, d := range draws {
+		pos[k] = neighbors[offsets[pos[k]]+int64(d)]
+	}
+	return true
+}
+
 // ShiftSteps moves every pos[k] to its dir-th neighbor — the bulk twin
 // of a fixed-direction Neighbor sweep, validating dir once instead of
 // per agent. It consumes no randomness.
@@ -189,4 +271,48 @@ func Stepper(g Graph) func(v int64, s *rng.Stream) int64 {
 			return RandomStep(g, v, s)
 		}
 	}
+}
+
+// StepperBulk returns the batched twin of Stepper for single-walker
+// Monte Carlo loops: fill(s, buf) fills buf with bounded draws exactly
+// as len(buf) successive Stepper calls on s would consume them, and
+// apply(v, draw) advances one position by one prefilled draw.
+// Chaining fill over a walk's draws and apply over its positions
+// yields bit-for-bit the same trajectory and final stream state as the
+// scalar Stepper loop. ok is false when g has no fixed draw bound
+// (irregular or edge-free Adj graphs, generic Graph implementations);
+// callers then fall back to Stepper.
+func StepperBulk(g Graph) (fill func(s *rng.Stream, buf []uint64), apply func(v int64, draw uint64) int64, ok bool) {
+	switch t := g.(type) {
+	case *Torus:
+		deg := uint64(2 * t.dims)
+		return func(s *rng.Stream, buf []uint64) { s.Uint64nBulk(deg, buf) },
+			func(v int64, draw uint64) int64 {
+				i := int(draw)
+				return t.step(v, i>>1, 1-int64(i&1)<<1)
+			}, true
+	case *Hypercube:
+		bits := uint64(t.bits)
+		return func(s *rng.Stream, buf []uint64) { s.Uint64nBulk(bits, buf) },
+			func(v int64, draw uint64) int64 { return v ^ 1<<uint(draw) }, true
+	case *Complete:
+		deg := uint64(t.nodes - 1)
+		return func(s *rng.Stream, buf []uint64) { s.Uint64nBulk(deg, buf) },
+			func(v int64, draw uint64) int64 {
+				j := int64(draw)
+				if j >= v {
+					j++
+				}
+				return j
+			}, true
+	case *Adj:
+		if t.regular <= 0 {
+			return nil, nil, false
+		}
+		deg := uint64(t.regular)
+		offsets, neighbors := t.offsets, t.neighbors
+		return func(s *rng.Stream, buf []uint64) { s.Uint64nBulk(deg, buf) },
+			func(v int64, draw uint64) int64 { return neighbors[offsets[v]+int64(draw)] }, true
+	}
+	return nil, nil, false
 }

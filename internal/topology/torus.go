@@ -17,10 +17,12 @@ import "fmt"
 // a multigraph with doubled edges; random-walk semantics (uniform
 // choice among 2k directions) are still correct.
 type Torus struct {
-	side    int64
-	dims    int
-	strides []int64 // strides[i] = side^i
-	nodes   int64   // side^dims
+	side      int64
+	dims      int
+	strides   []int64  // strides[i] = side^i
+	nodes     int64    // side^dims
+	recips    []uint64 // recips[i] = ^uint64(0) / strides[i], for fastDiv
+	recipSide uint64   // ^uint64(0) / side
 }
 
 var _ Regular = (*Torus)(nil)
@@ -44,7 +46,14 @@ func NewTorus(dims int, side int64) (*Torus, error) {
 		}
 		strides[i] = strides[i-1] * side
 	}
-	return &Torus{side: side, dims: dims, strides: strides[:dims], nodes: strides[dims]}, nil
+	recips := make([]uint64, dims)
+	for i := range recips {
+		recips[i] = ^uint64(0) / uint64(strides[i])
+	}
+	return &Torus{
+		side: side, dims: dims, strides: strides[:dims], nodes: strides[dims],
+		recips: recips, recipSide: ^uint64(0) / uint64(side),
+	}, nil
 }
 
 // MustTorus is like NewTorus but panics on error. It is intended for
@@ -91,9 +100,16 @@ func (t *Torus) Neighbor(v int64, i int) int64 {
 }
 
 // step moves v by delta (+1 or -1) along dimension dim, wrapping.
+// The coordinate extraction (v/stride)%side runs on fastDiv
+// reciprocals instead of hardware division — the two int64 divisions
+// were the single largest cost of a torus random-walk step. Both
+// fastDiv calls run unconditionally (they are correct for stride 1
+// and for quotients already below side), because dim is
+// data-dependent in random-walk loops and a branch on it would
+// mispredict half the time, costing more than the multiplies save.
 func (t *Torus) step(v int64, dim int, delta int64) int64 {
-	stride := t.strides[dim]
-	coord := (v / stride) % t.side
+	q := fastDiv(uint64(v), uint64(t.strides[dim]), t.recips[dim])
+	coord := int64(q - uint64(t.side)*fastDiv(q, uint64(t.side), t.recipSide))
 	next := coord + delta
 	switch {
 	case next == t.side:
@@ -101,7 +117,7 @@ func (t *Torus) step(v int64, dim int, delta int64) int64 {
 	case next < 0:
 		next = t.side - 1
 	}
-	return v + (next-coord)*stride
+	return v + (next-coord)*t.strides[dim]
 }
 
 // Coords decodes node v into its k coordinates.

@@ -6,9 +6,11 @@
 // and collision count moments (Lemma 11, Corollaries 15 and 16), and
 // endpoint distributions (Lemma 9). All estimates are Monte Carlo
 // over explicit trials with deterministic seeds. Every walking loop
-// hoists its per-step dispatch through topology.Stepper, which is
-// bit-identical to topology.RandomStep but devirtualized for the
-// regular topologies.
+// hoists its per-step dispatch through topology.Stepper — and, where
+// the graph has a fixed draw bound, batches its randomness in chunks
+// through topology.StepperBulk — both bit-identical to
+// topology.RandomStep but devirtualized and amortized for the regular
+// topologies.
 package walk
 
 import (
@@ -35,20 +37,18 @@ import (
 func RecollisionCurve(g topology.Graph, start int64, maxM, trials int, s *rng.Stream) []float64 {
 	validate(maxM, trials)
 	topology.ValidateNode(g, start)
-	step := topology.Stepper(g)
+	wk := newWalker(g)
 	hits := make([]int, maxM+1)
+	visit := func(m int, p1, p2 int64) {
+		if p1 == p2 {
+			hits[m]++
+		}
+	}
 	for trial := 0; trial < trials; trial++ {
 		s1 := s.Split(uint64(2 * trial))
 		s2 := s.Split(uint64(2*trial + 1))
-		p1, p2 := start, start
 		hits[0]++ // both walks begin at the collision node
-		for m := 1; m <= maxM; m++ {
-			p1 = step(p1, s1)
-			p2 = step(p2, s2)
-			if p1 == p2 {
-				hits[m]++
-			}
-		}
+		wk.runPair(start, start, maxM, s1, s2, visit)
 	}
 	curve := make([]float64, maxM+1)
 	for m, h := range hits {
@@ -64,18 +64,17 @@ func RecollisionCurve(g topology.Graph, start int64, maxM, trials int, s *rng.St
 func EqualizationCurve(g topology.Graph, start int64, maxM, trials int, s *rng.Stream) []float64 {
 	validate(maxM, trials)
 	topology.ValidateNode(g, start)
-	step := topology.Stepper(g)
+	wk := newWalker(g)
 	hits := make([]int, maxM+1)
+	visit := func(m int, p int64) {
+		if p == start {
+			hits[m]++
+		}
+	}
 	for trial := 0; trial < trials; trial++ {
 		str := s.Split(uint64(trial))
-		p := start
 		hits[0]++
-		for m := 1; m <= maxM; m++ {
-			p = step(p, str)
-			if p == start {
-				hits[m]++
-			}
-		}
+		wk.run(start, maxM, str, visit)
 	}
 	curve := make([]float64, maxM+1)
 	for m, h := range hits {
@@ -103,19 +102,20 @@ func SumCurve(curve []float64) []float64 {
 // bounds by k! w^k log^k(2t).
 func EqualizationCounts(g topology.Graph, t, trials int, s *rng.Stream) []float64 {
 	validate(t, trials)
-	step := topology.Stepper(g)
+	wk := newWalker(g)
 	out := make([]float64, trials)
+	var start int64
+	count := 0
+	visit := func(_ int, p int64) {
+		if p == start {
+			count++
+		}
+	}
 	for trial := 0; trial < trials; trial++ {
 		str := s.Split(uint64(trial))
-		start := topology.RandomNode(g, str)
-		p := start
-		count := 0
-		for m := 1; m <= t; m++ {
-			p = step(p, str)
-			if p == start {
-				count++
-			}
-		}
+		start = topology.RandomNode(g, str)
+		count = 0
+		wk.run(start, t, str, visit)
 		out[trial] = float64(count)
 	}
 	return out
@@ -128,21 +128,21 @@ func EqualizationCounts(g topology.Graph, t, trials int, s *rng.Stream) []float6
 // (t w^k / A) k! log^k(2t).
 func PairCollisionCounts(g topology.Graph, t, trials int, s *rng.Stream) []float64 {
 	validate(t, trials)
-	step := topology.Stepper(g)
+	wk := newWalker(g)
 	out := make([]float64, trials)
+	count := 0
+	visit := func(_ int, p1, p2 int64) {
+		if p1 == p2 {
+			count++
+		}
+	}
 	for trial := 0; trial < trials; trial++ {
 		s1 := s.Split(uint64(2 * trial))
 		s2 := s.Split(uint64(2*trial + 1))
 		p1 := topology.RandomNode(g, s1)
 		p2 := topology.RandomNode(g, s2)
-		count := 0
-		for m := 1; m <= t; m++ {
-			p1 = step(p1, s1)
-			p2 = step(p2, s2)
-			if p1 == p2 {
-				count++
-			}
-		}
+		count = 0
+		wk.runPair(p1, p2, t, s1, s2, visit)
 		out[trial] = float64(count)
 	}
 	return out
@@ -153,18 +153,19 @@ func PairCollisionCounts(g topology.Graph, t, trials int, s *rng.Stream) []float
 // at the fixed node target — the visit count of Corollary 15.
 func VisitCounts(g topology.Graph, target int64, t, trials int, s *rng.Stream) []float64 {
 	validate(t, trials)
-	step := topology.Stepper(g)
+	wk := newWalker(g)
 	out := make([]float64, trials)
+	count := 0
+	visit := func(_ int, p int64) {
+		if p == target {
+			count++
+		}
+	}
 	for trial := 0; trial < trials; trial++ {
 		str := s.Split(uint64(trial))
 		p := topology.RandomNode(g, str)
-		count := 0
-		for m := 1; m <= t; m++ {
-			p = step(p, str)
-			if p == target {
-				count++
-			}
-		}
+		count = 0
+		wk.run(p, t, str, visit)
 		out[trial] = float64(count)
 	}
 	return out

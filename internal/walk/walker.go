@@ -1,0 +1,90 @@
+package walk
+
+import (
+	"antdensity/internal/rng"
+	"antdensity/internal/topology"
+)
+
+// walkChunk is the draw-batch size of the walker helper: big enough
+// to amortize the bulk fill's per-batch setup, small enough that both
+// buffers of a pair walk stay in L1.
+const walkChunk = 512
+
+// walker drives the package's Monte Carlo step loops. Graphs with a
+// fixed draw bound (via topology.StepperBulk) run in batched mode —
+// chunks of walkChunk bounded draws bulk-filled from the walk's
+// stream, then applied arithmetically — and everything else falls
+// back to the scalar topology.Stepper. Both modes consume identical
+// draws from identical streams in identical order, so estimates are
+// bit-for-bit independent of the mode.
+type walker struct {
+	step  func(int64, *rng.Stream) int64
+	fill  func(*rng.Stream, []uint64)
+	apply func(int64, uint64) int64
+	buf1  []uint64
+	buf2  []uint64
+}
+
+func newWalker(g topology.Graph) *walker {
+	w := &walker{step: topology.Stepper(g)}
+	if fill, apply, ok := topology.StepperBulk(g); ok {
+		w.fill, w.apply = fill, apply
+		w.buf1 = make([]uint64, walkChunk)
+		w.buf2 = make([]uint64, walkChunk)
+	}
+	return w
+}
+
+// run advances a walk from p for steps rounds drawing from s, calling
+// visit(m, p) after each step m in [1, steps].
+func (w *walker) run(p int64, steps int, s *rng.Stream, visit func(m int, p int64)) {
+	if w.fill == nil {
+		for m := 1; m <= steps; m++ {
+			p = w.step(p, s)
+			visit(m, p)
+		}
+		return
+	}
+	for m := 1; m <= steps; {
+		c := steps - m + 1
+		if c > walkChunk {
+			c = walkChunk
+		}
+		w.fill(s, w.buf1[:c])
+		for j := 0; j < c; j++ {
+			p = w.apply(p, w.buf1[j])
+			visit(m+j, p)
+		}
+		m += c
+	}
+}
+
+// runPair advances two walks in lockstep for steps rounds, walk i
+// drawing from si, calling visit(m, p1, p2) after each round. The two
+// walks draw from separate streams, so batching each stream's chunk
+// contiguously leaves every per-stream draw sequence — and therefore
+// both trajectories — identical to the scalar interleaved loop.
+func (w *walker) runPair(p1, p2 int64, steps int, s1, s2 *rng.Stream, visit func(m int, p1, p2 int64)) {
+	if w.fill == nil {
+		for m := 1; m <= steps; m++ {
+			p1 = w.step(p1, s1)
+			p2 = w.step(p2, s2)
+			visit(m, p1, p2)
+		}
+		return
+	}
+	for m := 1; m <= steps; {
+		c := steps - m + 1
+		if c > walkChunk {
+			c = walkChunk
+		}
+		w.fill(s1, w.buf1[:c])
+		w.fill(s2, w.buf2[:c])
+		for j := 0; j < c; j++ {
+			p1 = w.apply(p1, w.buf1[j])
+			p2 = w.apply(p2, w.buf2[j])
+			visit(m+j, p1, p2)
+		}
+		m += c
+	}
+}
