@@ -74,6 +74,7 @@ func cmdQuorum(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	adaptive := fs.Bool("adaptive", false, "anytime mode: per-agent early stopping instead of the fixed theta-sized horizon")
 	maxRounds := fs.Int("max-rounds", 40000, "adaptive-mode round budget")
+	shards := fs.Int("shards", 0, "spatial shards for the world (0 = auto); results are identical for any value")
 	advFlag := fs.String("adversary", "", adversaryFlagUsage)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,7 +84,7 @@ func cmdQuorum(args []string) error {
 	if err != nil {
 		return err
 	}
-	w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: *agents, Seed: *seed})
+	w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: *agents, Seed: *seed, Shards: *shards})
 	if err != nil {
 		return err
 	}

@@ -25,9 +25,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"antdensity/internal/benchenv"
 )
 
 type loadtestReport struct {
+	Env    benchenv.Env `json:"env"`
 	Config struct {
 		Submissions int     `json:"submissions"`
 		Concurrency int     `json:"concurrency"`
@@ -149,6 +152,7 @@ func cmdLoadtest(args []string) error {
 	elapsed := time.Since(start)
 
 	var rep loadtestReport
+	rep.Env = benchenv.Capture()
 	rep.Config.Submissions = *n
 	rep.Config.Concurrency = *conc
 	rep.Config.DupFraction = *dup

@@ -115,11 +115,13 @@ func cmdRun(args []string) (err error) {
 	seed := fs.Uint64("seed", 1, "random seed")
 	quick := fs.Bool("quick", false, "reduced trial counts")
 	workers := fs.Int("workers", 0, "trial-runner goroutines (0 = all CPUs); results are identical for any value")
+	shards := fs.Int("shards", 0, "spatial shards per world (0 = auto); results are identical for any value")
 	format := fs.String("format", "text", "output format: text, json, or csv")
 	prof := addProfileFlags(fs, "the selected runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sim.SetDefaultShards(*shards)
 	f, err := parseFormat(*format)
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
@@ -195,6 +197,7 @@ func cmdEstimate(args []string) (err error) {
 	agents := fs.Int("agents", 1001, "number of agents")
 	rounds := fs.Int("rounds", 1000, "rounds of Algorithm 1")
 	seed := fs.Uint64("seed", 1, "random seed")
+	shards := fs.Int("shards", 0, "spatial shards for the world (0 = auto); results are identical for any value")
 	advFlag := fs.String("adversary", "", adversaryFlagUsage)
 	prof := addProfileFlags(fs, "the estimation run")
 	if err := fs.Parse(args); err != nil {
@@ -213,7 +216,7 @@ func cmdEstimate(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: *agents, Seed: *seed})
+	w, err := sim.NewWorld(sim.Config{Graph: g, NumAgents: *agents, Seed: *seed, Shards: *shards})
 	if err != nil {
 		return err
 	}

@@ -51,6 +51,7 @@ import (
 	"antdensity"
 	"antdensity/internal/results"
 	"antdensity/internal/rng"
+	"antdensity/internal/sim"
 	"antdensity/internal/socialnet"
 )
 
@@ -82,9 +83,11 @@ func cmdServe(args []string) error {
 	fs.Float64Var(&cfg.rate, "rate", 0, "per-client submissions per second (0 = no rate limit)")
 	fs.IntVar(&cfg.burst, "burst", 20, "per-client rate-limit burst")
 	fs.BoolVar(&cfg.noCache, "no-cache", false, "disable the (Spec, seed) result cache")
+	shards := fs.Int("shards", 0, "default spatial shards per run world (0 = auto); results are identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sim.SetDefaultShards(*shards)
 	s, err := newServer(cfg)
 	if err != nil {
 		return err
@@ -264,6 +267,12 @@ type runRequest struct {
 	SeedVertex int64 `json:"seed_vertex,omitempty"`
 
 	SnapshotEvery int `json:"snapshot_every,omitempty"`
+
+	// Shards is the spatial shard count for the run's world (0 = auto,
+	// honoring the server's -shards default). Execution layout only:
+	// results and fingerprints are identical for any value, so sharded
+	// and flat submissions of the same spec dedup together.
+	Shards int `json:"shards,omitempty"`
 }
 
 type noiseRequest struct {
@@ -424,6 +433,7 @@ func specFromRequest(req runRequest) (*antdensity.Spec, error) {
 	if req.SnapshotEvery != 0 {
 		s.SnapshotEvery = req.SnapshotEvery
 	}
+	s.Shards = req.Shards
 	return s, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"antdensity/internal/experiments"
 	"antdensity/internal/expfmt"
 	"antdensity/internal/results"
+	"antdensity/internal/sim"
 )
 
 // This file implements the sweep subcommand: it executes a
@@ -61,6 +62,7 @@ func cmdSweep(args []string) (err error) {
 	seed := fs.Uint64("seed", 1, "random seed")
 	quick := fs.Bool("quick", false, "reduced trial counts")
 	workers := fs.Int("workers", 0, "trial-runner goroutines (0 = all CPUs); results are identical for any value")
+	shards := fs.Int("shards", 0, "spatial shards per world (0 = auto); results are identical for any value")
 	format := fs.String("format", "text", "output format: text, json, or csv")
 	prof := addProfileFlags(fs, "the sweep")
 	var axes repeatedFlag
@@ -68,6 +70,7 @@ func cmdSweep(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sim.SetDefaultShards(*shards)
 	stopProf, err := prof.start()
 	if err != nil {
 		return err

@@ -52,11 +52,22 @@
 //     array with cache-blocked updates, or a split-array open-address
 //     table, chosen by a memory-budget rule) serves counts; a
 //     persistent worker pool behind StepParallel splits agents on
-//     cache-line-aligned chunk boundaries. Every fast path is proven
+//     cache-line-aligned chunk boundaries. For 10M+ agent worlds,
+//     Config.Shards (Spec.WithShards, CLI -shards) partitions the
+//     graph into contiguous node-range slabs via internal/shard: each
+//     shard owns its agents' hot state and a slab-local occupancy
+//     index, rounds run as shard-local batched stepping plus
+//     deterministic cross-shard migration through per-(src,dst)
+//     mailboxes merged in fixed order, and the dense-index memory
+//     budget applies per slab — so graphs too large for a flat dense
+//     index get dense per-shard indexes. Every fast path is proven
 //     bit-identical to the scalar reference by a property-test matrix
-//     (batched × fused × scalar, dense × sparse, serial × parallel) —
-//     the bulk RNG fills advance each agent's stream exactly as scalar
-//     draws would, so results never depend on which path executed.
+//     (batched × fused × scalar, dense × sparse, serial × parallel,
+//     shards ∈ {1,2,7}) — the bulk RNG fills advance each agent's
+//     stream exactly as scalar draws would, and migrants carry their
+//     private streams with them, so results never depend on which
+//     path executed or how the world is partitioned (sharding is
+//     excluded from the Spec fingerprint for exactly this reason).
 //
 // Estimation runs through sim's streaming observation pipeline: Run
 // advances the world round by round and hands every registered

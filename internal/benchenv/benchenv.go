@@ -1,0 +1,39 @@
+// Package benchenv captures the execution environment of a benchmark
+// run in a machine-readable form, so every emitted BENCH_*.json can
+// carry the 1-CPU-container caveat as data instead of a prose
+// footnote: a report whose GOMAXPROCS exceeds the hardware CPU count
+// is measuring oversubscription, not parallel speedup, and any tool
+// consuming the JSON can tell without reading the methodology string.
+package benchenv
+
+import "runtime"
+
+// Env is the benchmark execution environment, embedded under an "env"
+// key in emitted benchmark reports.
+type Env struct {
+	// NumCPU is runtime.NumCPU(): the usable hardware CPU count.
+	NumCPU int `json:"num_cpu"`
+	// GOMAXPROCS is the process's parallelism limit at capture time.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Oversubscribed is true when GOMAXPROCS exceeds NumCPU: any
+	// worker>1 or shard>1 timing in the report measures scheduling
+	// overhead on shared cores, not parallel scaling.
+	Oversubscribed bool   `json:"oversubscribed"`
+	GOOS           string `json:"goos"`
+	GOARCH         string `json:"goarch"`
+	GoVersion      string `json:"go_version"`
+}
+
+// Capture snapshots the current environment.
+func Capture() Env {
+	n := runtime.NumCPU()
+	g := runtime.GOMAXPROCS(0)
+	return Env{
+		NumCPU:         n,
+		GOMAXPROCS:     g,
+		Oversubscribed: g > n,
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		GoVersion:      runtime.Version(),
+	}
+}

@@ -1,0 +1,36 @@
+package benchenv
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCapture(t *testing.T) {
+	e := Capture()
+	if e.NumCPU != runtime.NumCPU() || e.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Capture() = %+v does not match runtime", e)
+	}
+	if e.Oversubscribed != (e.GOMAXPROCS > e.NumCPU) {
+		t.Fatalf("Oversubscribed = %v with GOMAXPROCS %d, NumCPU %d", e.Oversubscribed, e.GOMAXPROCS, e.NumCPU)
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"num_cpu", "gomaxprocs", "oversubscribed", "go_version"} {
+		if !strings.Contains(string(b), `"`+key+`"`) {
+			t.Errorf("JSON form %s missing key %q", b, key)
+		}
+	}
+}
+
+func TestOversubscriptionDetection(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(2 * runtime.NumCPU())
+	defer runtime.GOMAXPROCS(old)
+	if e := Capture(); !e.Oversubscribed {
+		t.Errorf("GOMAXPROCS %d > NumCPU %d should report oversubscribed", e.GOMAXPROCS, e.NumCPU)
+	}
+}

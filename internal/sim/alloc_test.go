@@ -144,6 +144,93 @@ func TestRunnerStepZeroAllocs(t *testing.T) {
 	requireZeroAllocs(t, "Runner.Step (full pipeline round)", func() { rn.Step() })
 }
 
+// growCap pads a slice's capacity to at least n without changing its
+// contents or length, so steady-state appends cannot regrow it.
+func growCap[T any](s []T, n int) []T {
+	l := len(s)
+	var zero T
+	for cap(s) < n {
+		s = append(s, zero)
+	}
+	return s[:l]
+}
+
+// padShardCapacities grows every migration-sensitive buffer of a
+// sharded world to its theoretical bound (the total agent count), so
+// the allocation pins below measure the steady-state kernels rather
+// than capacity high-water luck: slab populations and per-(src,dst)
+// migrant counts are bounded by NumAgents, so after padding no append
+// or scratch regrow can ever allocate again.
+func padShardCapacities(w *World) {
+	sh := w.sh
+	n := len(w.pos) + 1
+	k := len(sh.slabs)
+	for s := range sh.slabs {
+		sl := &sh.slabs[s]
+		sl.pos = growCap(sl.pos, n)
+		sl.streams = growCap(sl.streams, n)
+		sl.ids = growCap(sl.ids, n)
+		sl.prev = growCap(sl.prev, n)
+		sl.emig = growCap(sl.emig, n)
+		sl.counts = growCap(sl.counts, n)
+		sl.draws = make([]uint64, n)
+		sl.floats = make([]float64, n)
+	}
+	for src := 0; src < k; src++ {
+		for dst := 0; dst < k; dst++ {
+			for j := 0; j < n; j++ {
+				sh.boxes.Put(src, dst, migrant{})
+			}
+		}
+	}
+	for dst := 0; dst < k; dst++ {
+		sh.boxes.ClearDst(dst)
+	}
+}
+
+// TestShardedStepZeroAllocs pins the sharded round — both phases,
+// including cross-shard migration and incremental slab occupancy — at
+// zero steady-state allocations, serial and through the pool, plus the
+// sharded bulk count reduction.
+func TestShardedStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	g := topology.MustTorus(2, 64)
+	w := MustWorld(Config{Graph: g, NumAgents: 4096, Seed: 12, Shards: 4})
+	defer w.Close()
+	w.SetTagged(0, true)
+	w.Count(0)        // live index: phases maintain slabs incrementally
+	w.StepParallel(4) // create and warm the pool
+	buf := make([]int, w.NumAgents())
+	w.CountsAllInto(buf)
+	padShardCapacities(w)
+	for r := 0; r < 4; r++ { // settle prev/scratch views after padding
+		w.Step()
+		w.StepParallel(4)
+	}
+	requireZeroAllocs(t, "Step+Count (sharded serial)", func() {
+		w.Step()
+		_ = w.Count(9)
+		_ = w.CountTagged(9)
+	})
+	requireZeroAllocs(t, "StepParallel(4) (sharded)", func() {
+		w.StepParallel(4)
+	})
+	requireZeroAllocs(t, "CountsAllInto (sharded)", func() { w.CountsAllInto(buf) })
+	requireZeroAllocs(t, "CountsTaggedAllInto (sharded)", func() { w.CountsTaggedAllInto(buf) })
+
+	// Sparse slabs: as with the flat sparse index, stepping may rarely
+	// touch table internals (resize hysteresis), so only the query side
+	// is pinned.
+	ws := MustWorld(Config{Graph: g, NumAgents: 2048, Seed: 13, Shards: 4, Occupancy: OccSparse})
+	wsBuf := make([]int, ws.NumAgents())
+	ws.Count(0)
+	ws.CountsAllInto(wsBuf)
+	requireZeroAllocs(t, "CountsAllInto (sharded sparse)", func() { ws.CountsAllInto(wsBuf) })
+	requireZeroAllocs(t, "Count (sharded sparse)", func() { _ = ws.Count(11) })
+}
+
 func TestCountZeroAllocsSparse(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under -race")

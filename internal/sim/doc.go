@@ -41,7 +41,45 @@
 // chunkAlign = 8 agents — one 64-byte cache line of int64 positions —
 // so no two workers write the same cache line (no false sharing).
 // Chunk boundaries never affect results, by the determinism
-// invariant.
+// invariant. Tiny worlds skip the pool entirely: when the agent count
+// is below Config.ParallelMinAgents per requested worker (default 2,
+// i.e. any world with fewer than 2×workers agents), StepParallel
+// falls back to the serial path, because handing a handful of agents
+// to a goroutine pool costs more in synchronization than the work is
+// worth. The threshold only selects an execution path — results are
+// identical either way.
+//
+// # Spatial sharding (Config.Shards)
+//
+// Above worker-level parallelism sits spatial domain decomposition
+// (sharded.go, internal/shard): Config.Shards > 1 partitions the
+// graph's node-id space into K contiguous slabs (shard.Partition,
+// row bands on a torus) and each shard exclusively owns the agents
+// currently positioned inside its slab — their positions, previous
+// positions, and rng streams live in per-shard SoA slabs, and each
+// shard keeps its own occupancy index over only its slab's node
+// range. A sharded round runs in two phases: every shard steps its
+// own agents with the same batched kernels as the flat world,
+// depositing agents that crossed a slab boundary into per-(src,dst)
+// mailboxes; then each destination shard drains its mailboxes in
+// fixed (source shard, insertion index) order. That fixed merge
+// order, plus each agent carrying its private rng stream with it,
+// makes sharded results bit-identical to the flat world for every
+// shard and worker count — the property matrix steps shards ∈
+// {1,2,7} against the flat reference. Because sharding cannot change
+// results, Spec.Shards is excluded from the canonical fingerprint.
+//
+// Sharding pays off twice. It is the unit of multi-core work: with K
+// shards, StepParallel(K) gives each worker whole-shard ownership, no
+// shared writes, no false sharing, zero steady-state allocations.
+// And it shrinks the occupancy problem: the dense-index memory budget
+// applies per shard slab, so a graph too large for a flat dense index
+// (the 16.8M-node 4096×4096 torus) gets dense per-slab indexes from a
+// few shards up — a single-core structural win on the step+count
+// round measured in BENCH_PR9.json. Shards = 0 (ShardAuto) resolves
+// to the process default (SetDefaultShards, the CLI -shards flag),
+// else GOMAXPROCS (capped at 64) for worlds of at least a million
+// agents, else 1.
 //
 // # Occupancy index selection
 //

@@ -17,7 +17,10 @@ import (
 // bit-identical — positions, rounds, and every count variant — to a
 // reference world forced onto the sparse map and the scalar per-agent
 // stepping path. The matrix is batched-vs-fused-vs-scalar RNG ×
-// dense-vs-sparse occupancy × serial-vs-parallel execution.
+// dense-vs-sparse occupancy × serial-vs-parallel execution ×
+// shards ∈ {1, 2, 7} (2 sharded serially with dense slabs, 7 sharded
+// in parallel with forced-sparse slabs, proving the shards=1-vs-K
+// invariant across both slab representations).
 func TestFastPathBitIdentical(t *testing.T) {
 	topologies := []struct {
 		name string
@@ -107,6 +110,14 @@ func TestFastPathBitIdentical(t *testing.T) {
 						Graph: g, NumAgents: agents, Seed: seed,
 						Policy: pl.make(t), Occupancy: OccDense,
 					})
+					sh2 := MustWorld(Config{
+						Graph: g, NumAgents: agents, Seed: seed,
+						Policy: pl.make(t), Shards: 2,
+					})
+					sh7 := MustWorld(Config{
+						Graph: g, NumAgents: agents, Seed: seed,
+						Policy: pl.make(t), Shards: 7, Occupancy: OccSparse,
+					})
 					// Re-setting each agent's policy clears the
 					// uniform-policy invariant, pinning slow to the
 					// scalar per-agent stepping path.
@@ -122,7 +133,7 @@ func TestFastPathBitIdentical(t *testing.T) {
 					for i := 0; i < agents; i++ {
 						tagOn := s.Bernoulli(0.3)
 						grp := s.Intn(3)
-						for _, w := range []*World{fast, slow, par, fused} {
+						for _, w := range []*World{fast, slow, par, fused, sh2, sh7} {
 							w.SetTagged(i, tagOn)
 							w.SetGroup(i, grp)
 						}
@@ -132,15 +143,20 @@ func TestFastPathBitIdentical(t *testing.T) {
 						slow.Step()
 						par.StepParallel(3)
 						fused.Step()
+						sh2.Step()
+						sh7.StepParallel(3)
 						ctx := fmt.Sprintf("%s/%s case %d round %d", tp.name, pl.name, c, r)
 						compareWorlds(t, slow, fast, ctx+" dense+batched")
 						compareWorlds(t, slow, par, ctx+" dense+batched+parallel")
 						compareWorlds(t, slow, fused, ctx+" dense+fused")
+						compareWorlds(t, slow, sh2, ctx+" sharded2+serial")
+						compareWorlds(t, slow, sh7, ctx+" sharded7+sparse+parallel")
 						if t.Failed() {
 							return
 						}
 					}
 					par.Close()
+					sh7.Close()
 				}
 			})
 		}

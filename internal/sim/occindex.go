@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"antdensity/internal/shard"
+)
 
 // OccupancyIndex selects the representation of the occupancy index
 // that serves Count/CountTagged/CountInGroup queries; see the package
@@ -41,26 +45,40 @@ type occupancy struct {
 	group  map[groupKey]int32
 }
 
-// initOcc resolves and validates the index mode chosen by cfg.
-func (w *World) initOcc(mode OccupancyIndex, agents int) error {
-	nodes := w.graph.NumNodes()
+// initOcc resolves and validates the index mode chosen by cfg. For a
+// sharded world (part non-nil) the budget and force limits apply to
+// the widest shard's node span rather than the whole graph, because
+// each shard allocates its own dense slab — a 16M-node torus that is
+// sparse flat becomes dense under 4+ shards, one of the structural
+// wins of the decomposition.
+func (w *World) initOcc(mode OccupancyIndex, agents int, part *shard.Partition) error {
+	span := w.graph.NumNodes()
+	if part != nil && part.K() >= 2 {
+		span = 0
+		for s := 0; s < part.K(); s++ {
+			lo, hi := part.Bounds(s)
+			if hi-lo > span {
+				span = hi - lo
+			}
+		}
+	}
 	switch mode {
 	case OccAuto:
-		if nodes <= denseOccupancyMaxNodes {
+		if span <= denseOccupancyMaxNodes {
 			mode = OccDense
 		} else {
 			mode = OccSparse
 		}
 	case OccDense:
-		if nodes > denseOccupancyForceLimit {
-			return fmt.Errorf("sim: graph with %d nodes is too large for a dense occupancy index (limit %d)", nodes, int64(denseOccupancyForceLimit))
+		if span > denseOccupancyForceLimit {
+			return fmt.Errorf("sim: graph with %d nodes per shard is too large for a dense occupancy index (limit %d)", span, int64(denseOccupancyForceLimit))
 		}
 	case OccSparse:
 	default:
 		return fmt.Errorf("sim: unknown occupancy index selector %d", mode)
 	}
 	w.occ.mode = mode
-	if mode == OccSparse {
+	if mode == OccSparse && part == nil {
 		w.occ.sparse = newOccTable(agents)
 	}
 	w.occ.group = make(map[groupKey]int32)
@@ -72,6 +90,10 @@ func (w *World) initOcc(mode OccupancyIndex, agents int) error {
 // maintains the index incrementally via applyMoves and the index never
 // goes stale again.
 func (w *World) rebuildOcc() {
+	if w.sh != nil {
+		w.rebuildOccSharded()
+		return
+	}
 	if w.occ.mode == OccDense && w.occ.dense == nil {
 		w.occ.dense = make([]cell, w.graph.NumNodes())
 	}
@@ -170,8 +192,12 @@ func (w *World) moveGroup(q, p int64, g int32) {
 }
 
 // occCell returns the occupancy cell for node p from whichever
-// representation is active.
+// representation is active, routing to the owning shard's slab in
+// sharded mode.
 func (w *World) occCell(p int64) cell {
+	if w.sh != nil {
+		return w.slabFor(p).cellAt(p)
+	}
 	if d := w.occ.dense; d != nil {
 		return d[p]
 	}

@@ -17,9 +17,17 @@ package sim
 // the matching slot.
 //
 // Capacity invariant: the table holds at most one entry per agent
-// (cells are deleted the moment they empty), and capacity is fixed at
-// ≥ 4× the agent count, so the load factor never exceeds 1/4 and the
-// table never grows.
+// (cells are deleted the moment they empty), and capacity starts at
+// ≥ 4× the agent count, so the load factor starts below 1/4. The
+// table resizes itself at the extremes with wide hysteresis: inc
+// doubles capacity if an insertion would push load past 1/4 (reachable
+// when a shard's population grows past its initial sizing through
+// migration), and dec compacts to ~1/8 load once load falls below
+// 1/32 (population collapse — crash adversaries, churn) so probe
+// chains and memory track the live population instead of its
+// high-water mark. The 8× gap between the grow and shrink thresholds
+// means a table oscillating around any fixed population never
+// resizes, keeping the steady-state hot path at zero allocations.
 type occTable struct {
 	keys  []int64
 	cells []cell
@@ -164,9 +172,9 @@ func (t *occTable) inc(p int64, tagged bool) {
 		}
 		if k == emptyKey {
 			if 4*(t.used+1) > len(t.keys) {
-				// Unreachable while the capacity invariant holds
-				// (entries ≤ agents ≤ capacity/4).
-				panic("sim: occupancy table overfull")
+				t.rehash(2 * len(t.keys))
+				t.inc(p, tagged) // re-probe from p's new home
+				return
 			}
 			t.keys[i] = p
 			c := cell{total: 1}
@@ -194,6 +202,7 @@ func (t *occTable) dec(p int64, tagged bool) {
 		if t.cells[i].total == 0 {
 			t.deleteAt(i)
 			t.used--
+			t.maybeShrink()
 		}
 		return
 	}
@@ -206,6 +215,56 @@ func (t *occTable) addTag(p int64, delta int32) {
 		if t.keys[i] == p {
 			t.cells[i].tagged += delta
 			return
+		}
+	}
+}
+
+// minShrinkCap is the smallest capacity dec will compact: at or below
+// it the memory at stake (≤ 16 KiB of slots) is worth less than the
+// rehash churn, so small tables keep their construction-time capacity
+// forever — which also keeps the small-world zero-alloc pins exact.
+const minShrinkCap = 1024
+
+// maybeShrink compacts the table once the load factor falls below
+// 1/32, to a power-of-two capacity giving ~1/8 load. The shrink
+// trigger (1/32) sits 8× below the grow trigger (1/4), so a
+// population oscillating around any fixed size never causes resize
+// thrash.
+func (t *occTable) maybeShrink() {
+	capacity := len(t.keys)
+	if capacity <= minShrinkCap || 32*t.used >= capacity {
+		return
+	}
+	target := 64
+	for target < 8*t.used {
+		target <<= 1
+	}
+	if target >= capacity {
+		return
+	}
+	t.rehash(target)
+}
+
+// rehash rebuilds the table at the given power-of-two capacity,
+// reinserting every live entry at its new home.
+func (t *occTable) rehash(capacity int) {
+	oldKeys, oldCells := t.keys, t.cells
+	t.keys = make([]int64, capacity)
+	t.cells = make([]cell, capacity)
+	t.mask = uint64(capacity) - 1
+	for i := range t.keys {
+		t.keys[i] = emptyKey
+	}
+	for i, k := range oldKeys {
+		if k == emptyKey {
+			continue
+		}
+		for j := t.home(k); ; j = (j + 1) & t.mask {
+			if t.keys[j] == emptyKey {
+				t.keys[j] = k
+				t.cells[j] = oldCells[i]
+				break
+			}
 		}
 	}
 }

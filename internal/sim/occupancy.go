@@ -31,6 +31,13 @@ func (w *World) CountsAllInto(dst []int) []int {
 		w.rebuildOcc()
 	}
 	out := dst[:len(w.pos)]
+	if w.sh != nil {
+		// Reduce over the shard-local slabs: each shard scatters its
+		// agents' counts by id (disjoint across shards, so the pool may
+		// run shards concurrently), with no rebuild and no global index.
+		w.shardCountsInto(out, false)
+		return out
+	}
 	if d := w.occ.dense; d != nil {
 		for i, p := range w.pos {
 			out[i] = int(d[p].total) - 1
@@ -70,6 +77,10 @@ func (w *World) CountsTaggedAllInto(dst []int) []int {
 		w.rebuildOcc()
 	}
 	out := dst[:len(w.pos)]
+	if w.sh != nil {
+		w.shardCountsInto(out, true)
+		return out
+	}
 	if d := w.occ.dense; d != nil {
 		for i, p := range w.pos {
 			c := int(d[p].tagged)
@@ -115,6 +126,20 @@ func (w *World) CountsInGroupInto(group int, dst []int) []int {
 	}
 	g := int32(group)
 	out := dst[:len(w.pos)]
+	if sh := w.sh; sh != nil {
+		for s := range sh.slabs {
+			sl := &sh.slabs[s]
+			for k, p := range sl.pos {
+				id := sl.ids[k]
+				c := int(sl.group[groupKey{pos: p, group: g}])
+				if w.groups[id] == g {
+					c--
+				}
+				out[id] = c
+			}
+		}
+		return out
+	}
 	for i, p := range w.pos {
 		c := int(w.occ.group[groupKey{pos: p, group: g}])
 		if w.groups[i] == g {

@@ -158,27 +158,45 @@ func (r *Round) beginRound() {
 // other work (and by the allocation regression tests, which pin a
 // steady-state Step at zero allocations).
 type Runner struct {
-	w    *World
-	obs  []Observer
-	done []bool
-	live int // observers not yet done
-	r    Round
+	w       *World
+	obs     []Observer
+	done    []bool
+	live    int // observers not yet done
+	workers int // stepping workers per round; >1 routes through StepParallel
+	r       Round
 }
 
 // NewRunner returns a Runner observing w. The observer list may be
-// empty, in which case Step just advances the world.
+// empty, in which case Step just advances the world. The stepping
+// worker count defaults to the world's own recommendation
+// (autoStepWorkers: one worker per shard up to GOMAXPROCS for sharded
+// worlds, serial otherwise), so every pipeline-driven caller — Run,
+// the estimators, serve — parallelizes sharded worlds without a new
+// parameter; SetWorkers overrides it. Worker count never affects
+// results, by the determinism invariant.
 func NewRunner(w *World, obs ...Observer) *Runner {
 	active := make([]bool, w.NumAgents())
 	for i := range active {
 		active[i] = true
 	}
 	return &Runner{
-		w:    w,
-		obs:  obs,
-		done: make([]bool, len(obs)),
-		live: len(obs),
-		r:    Round{w: w, active: active, numActive: w.NumAgents()},
+		w:       w,
+		obs:     obs,
+		done:    make([]bool, len(obs)),
+		live:    len(obs),
+		workers: w.autoStepWorkers(),
+		r:       Round{w: w, active: active, numActive: w.NumAgents()},
 	}
+}
+
+// SetWorkers overrides the number of stepping workers the Runner uses
+// per round; k < 2 forces serial stepping. Results are unchanged for
+// any k.
+func (rn *Runner) SetWorkers(k int) {
+	if k < 1 {
+		k = 1
+	}
+	rn.workers = k
 }
 
 // Rounds returns the number of observed rounds completed so far.
@@ -197,7 +215,11 @@ func (rn *Runner) Step() bool {
 	if rn.Stopped() {
 		return false
 	}
-	rn.w.Step()
+	if rn.workers > 1 {
+		rn.w.StepParallel(rn.workers)
+	} else {
+		rn.w.Step()
+	}
 	rn.r.beginRound()
 	for k, o := range rn.obs {
 		if rn.done[k] {

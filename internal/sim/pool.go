@@ -5,12 +5,12 @@ import (
 	"sync"
 )
 
-// stepPool is a persistent set of worker goroutines that StepParallel
-// reuses every round, instead of spawning goroutines and a channel per
-// call. The pool is created lazily on the first StepParallel and
-// resized only when the requested worker count changes; steady-state
-// rounds perform two channel operations per worker and allocate
-// nothing.
+// stepPool is a persistent set of worker goroutines that the parallel
+// entry points reuse every round, instead of spawning goroutines and a
+// channel per call. The pool is created lazily on the first parallel
+// call and resized only when the requested worker count changes;
+// steady-state rounds perform two channel operations per worker and
+// allocate nothing.
 //
 // Workers hold a reference to the pool but never to a World between
 // rounds (the job is cleared after each round), so an abandoned World
@@ -23,12 +23,32 @@ type stepPool struct {
 	once   sync.Once       // guards channel close in stop
 }
 
-// stepJob describes one round of work. Chunk boundaries are a pure
-// function of (chunk, n, worker id), so the agent-to-worker assignment
+// jobKind selects what a pool dispatch runs over its [lo, hi) range:
+// agents of the flat world, or shards of a sharded one.
+type jobKind uint8
+
+const (
+	// jobStep ranges over agents: stepRange on the flat SoA arrays.
+	jobStep jobKind = iota
+	// jobShardPhase1 ranges over shards: shard-local stepping plus
+	// emigrant classification (sharded.go).
+	jobShardPhase1
+	// jobShardPhase2 ranges over shards: emigrant eviction and the
+	// deterministic immigrant merge.
+	jobShardPhase2
+	// jobShardCounts ranges over shards: bulk count scatter from the
+	// shard-local occupancy indexes.
+	jobShardCounts
+)
+
+// stepJob describes one dispatch of work. Chunk boundaries are a pure
+// function of (chunk, n, worker id), so the unit-to-worker assignment
 // is deterministic — not that it matters for output: every agent owns
-// a private rng stream, so any assignment yields identical bytes.
+// a private rng stream and every shard phase touches only slab-owned
+// state, so any assignment yields identical bytes.
 type stepJob struct {
 	w     *World
+	kind  jobKind
 	chunk int
 	n     int
 }
@@ -48,7 +68,7 @@ func newStepPool(workers int) *stepPool {
 
 func (p *stepPool) workers() int { return len(p.signal) }
 
-// work is one worker's loop: wake, step the assigned chunk, report.
+// work is one worker's loop: wake, run the assigned chunk, report.
 func (p *stepPool) work(g int, signal <-chan struct{}) {
 	for range signal {
 		j := p.job
@@ -58,23 +78,36 @@ func (p *stepPool) work(g int, signal <-chan struct{}) {
 			hi = j.n
 		}
 		if lo < hi {
-			j.w.stepRange(lo, hi)
+			switch j.kind {
+			case jobStep:
+				j.w.stepRange(lo, hi)
+			case jobShardPhase1:
+				for s := lo; s < hi; s++ {
+					j.w.shardPhase1(s)
+				}
+			case jobShardPhase2:
+				for s := lo; s < hi; s++ {
+					j.w.shardPhase2(s)
+				}
+			case jobShardCounts:
+				for s := lo; s < hi; s++ {
+					j.w.shardCountsRange(s)
+				}
+			}
 		}
 		p.done <- struct{}{}
 	}
 }
 
-// step runs one synchronous round across all workers and blocks until
-// every chunk is done. The world reference is cleared before returning
-// so an idle pool keeps nothing alive but itself.
-func (p *stepPool) step(w *World) {
+// run dispatches one job of n units across all workers, chunked at the
+// given alignment, and blocks until every chunk is done — a barrier.
+// The world reference is cleared before returning so an idle pool
+// keeps nothing alive but itself.
+func (p *stepPool) run(w *World, kind jobKind, n, align int) {
 	k := len(p.signal)
-	// Round chunks up to chunkAlign agents so no two workers share a
-	// cache line of the SoA arrays (see soa.go); trailing workers whose
-	// range starts past n simply idle.
-	chunk := (len(w.pos) + k - 1) / k
-	chunk = (chunk + chunkAlign - 1) &^ (chunkAlign - 1)
-	p.job = stepJob{w: w, chunk: chunk, n: len(w.pos)}
+	chunk := (n + k - 1) / k
+	chunk = (chunk + align - 1) &^ (align - 1)
+	p.job = stepJob{w: w, kind: kind, chunk: chunk, n: n}
 	for _, ch := range p.signal {
 		ch <- struct{}{}
 	}
@@ -82,6 +115,14 @@ func (p *stepPool) step(w *World) {
 		<-p.done
 	}
 	p.job = stepJob{}
+}
+
+// step runs one synchronous round of flat-world stepping. Chunks are
+// rounded up to chunkAlign agents so no two workers share a cache line
+// of the SoA arrays (see soa.go); trailing workers whose range starts
+// past n simply idle.
+func (p *stepPool) step(w *World) {
+	p.run(w, jobStep, len(w.pos), chunkAlign)
 }
 
 // stop terminates the pool's goroutines. Idempotent.
@@ -111,9 +152,9 @@ func (w *World) ensurePool(workers int) *stepPool {
 }
 
 // Close stops the world's persistent worker pool, if one was created
-// by StepParallel. It is optional — an unreachable World's pool is
+// by a parallel call. It is optional — an unreachable World's pool is
 // stopped by a GC cleanup — but releases the goroutines promptly. The
-// world remains usable; a later StepParallel creates a fresh pool.
+// world remains usable; a later parallel call creates a fresh pool.
 func (w *World) Close() {
 	if w.pool != nil {
 		w.pool.stop()

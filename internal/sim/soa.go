@@ -17,7 +17,10 @@ import (
 // World embeds hotState anonymously, so w.pos[i], w.prev[i],
 // w.streams[i], w.draws[i], and w.floats[i] are always element i of
 // parallel arrays — the invariant the worker pool's chunking and the
-// batched kernels rely on.
+// batched kernels rely on. Sharded worlds embed one hotState per
+// shard slab (sharded.go), indexed by slab slot instead of agent id;
+// the kernels below take the graph explicitly so both layouts share
+// them unchanged.
 type hotState struct {
 	pos          []int64
 	prev         []int64 // previous round's positions, for incremental occupancy updates
@@ -35,9 +38,38 @@ type hotState struct {
 // no false sharing, regardless of worker count.
 const chunkAlign = 8
 
+// scratchNeeds reports which batched-RNG scratch buffers the given
+// uniform policy needs on g: draws for bounded-integer batching,
+// floats for coin/weight batching. Policy/topology pairs with no
+// batched kernel need neither and keep using the fused scalar paths.
+func scratchNeeds(p Policy, g topology.Graph) (needDraws, needFloats bool) {
+	switch pl := p.(type) {
+	case RandomWalk:
+		needDraws = fixedDrawBound(g)
+	case Lazy:
+		switch {
+		case pl.StayProb <= 0:
+			// Bernoulli consumes no draw at p <= 0; the policy is a
+			// plain random walk and batches through draws alone.
+			needDraws = fixedDrawBound(g)
+		case pl.StayProb < 1:
+			needFloats = batchedGraph(g)
+			// p >= 1 consumes no randomness at all: nothing to batch.
+		}
+	case *Biased:
+		if r, ok := g.(topology.Regular); ok && len(pl.cumulative) <= r.CommonDegree() {
+			switch g.(type) {
+			case *topology.Torus, *topology.Hypercube, *topology.Complete:
+				needFloats = true
+			}
+		}
+	}
+	return needDraws, needFloats
+}
+
 // ensureScratch sizes the batched-RNG scratch buffers for the world's
 // uniform policy, once. Worlds with per-agent policy overrides, or
-// policy/topology pairs with no batched kernel, allocate nothing and
+// policy/topology pairs with no batched path, allocate nothing and
 // keep using the fused scalar kernels. Called before stepping; the
 // buffers are sized for all agents so any worker-chunk subslice
 // [lo:hi) is valid.
@@ -46,32 +78,15 @@ func (w *World) ensureScratch() {
 		return
 	}
 	w.scratchReady = true
-	switch pl := w.uniform.(type) {
-	case RandomWalk:
-		if fixedDrawBound(w.graph) {
-			w.draws = make([]uint64, len(w.pos))
-		}
-	case Lazy:
-		switch {
-		case pl.StayProb <= 0:
-			// Bernoulli consumes no draw at p <= 0; the policy is a
-			// plain random walk and batches through draws alone.
-			if fixedDrawBound(w.graph) {
-				w.draws = make([]uint64, len(w.pos))
-			}
-		case pl.StayProb < 1:
-			if batchedGraph(w.graph) {
-				w.floats = make([]float64, len(w.pos))
-			}
-			// p >= 1 consumes no randomness at all: nothing to batch.
-		}
-	case *Biased:
-		if r, ok := w.graph.(topology.Regular); ok && len(pl.cumulative) <= r.CommonDegree() {
-			switch w.graph.(type) {
-			case *topology.Torus, *topology.Hypercube, *topology.Complete:
-				w.floats = make([]float64, len(w.pos))
-			}
-		}
+	if w.uniform == nil {
+		return
+	}
+	needDraws, needFloats := scratchNeeds(w.uniform, w.graph)
+	if needDraws {
+		w.draws = make([]uint64, len(w.pos))
+	}
+	if needFloats {
+		w.floats = make([]float64, len(w.pos))
 	}
 }
 
@@ -99,39 +114,39 @@ func batchedGraph(g topology.Graph) bool {
 	return false
 }
 
-// stepBatched advances agents [lo, hi) using batched RNG fills into
-// the scratch buffers, reporting false (with state untouched) when the
-// policy/topology pair has no batched path or scratch was not
+// stepBatched advances agents [lo, hi) on g using batched RNG fills
+// into the scratch buffers, reporting false (with state untouched)
+// when the policy/topology pair has no batched path or scratch was not
 // provisioned. Draw consumption per agent stream is identical to the
 // scalar and fused paths — rng.Uint64nEach/FloatEach make exactly the
 // draws the per-agent calls would — so all three paths are
 // interchangeable bit for bit.
-func (w *World) stepBatched(p Policy, lo, hi int) bool {
+func (h *hotState) stepBatched(g topology.Graph, p Policy, lo, hi int) bool {
 	switch pl := p.(type) {
 	case RandomWalk:
-		return w.randomWalkBatched(lo, hi)
+		return h.randomWalkBatched(g, lo, hi)
 	case Lazy:
 		if pl.StayProb <= 0 {
-			return w.randomWalkBatched(lo, hi)
+			return h.randomWalkBatched(g, lo, hi)
 		}
-		if pl.StayProb >= 1 || w.floats == nil {
+		if pl.StayProb >= 1 || h.floats == nil {
 			return false
 		}
-		return w.lazyBatched(pl.StayProb, lo, hi)
+		return h.lazyBatched(g, pl.StayProb, lo, hi)
 	case *Biased:
-		return w.biasedBatched(pl, lo, hi)
+		return h.biasedBatched(g, pl, lo, hi)
 	}
 	return false
 }
 
 // randomWalkBatched is stepBatched's uniform-random-walk kernel: one
 // bulk bounded-draw fill, one arithmetic apply pass.
-func (w *World) randomWalkBatched(lo, hi int) bool {
-	if w.draws == nil {
+func (h *hotState) randomWalkBatched(g topology.Graph, lo, hi int) bool {
+	if h.draws == nil {
 		return false
 	}
-	pos, streams, draws := w.pos[lo:hi], w.streams[lo:hi], w.draws[lo:hi]
-	switch t := w.graph.(type) {
+	pos, streams, draws := h.pos[lo:hi], h.streams[lo:hi], h.draws[lo:hi]
+	switch t := g.(type) {
 	case *topology.Torus:
 		t.RandomStepsInto(pos, streams, draws)
 	case *topology.Hypercube:
@@ -151,9 +166,9 @@ func (w *World) randomWalkBatched(lo, hi int) bool {
 // neighbor from its own stream. Coin k compares f[k] < p exactly as
 // Bernoulli does, and movers draw in agent order, so consumption per
 // stream matches the fused loop draw for draw.
-func (w *World) lazyBatched(stayProb float64, lo, hi int) bool {
-	pos, streams, f := w.pos[lo:hi], w.streams[lo:hi], w.floats[lo:hi]
-	switch t := w.graph.(type) {
+func (h *hotState) lazyBatched(g topology.Graph, stayProb float64, lo, hi int) bool {
+	pos, streams, f := h.pos[lo:hi], h.streams[lo:hi], h.floats[lo:hi]
+	switch t := g.(type) {
 	case *topology.Torus:
 		rng.FloatEach(streams, f)
 		deg := t.CommonDegree()
@@ -194,16 +209,16 @@ func (w *World) lazyBatched(stayProb float64, lo, hi int) bool {
 // biasedBatched batches Biased's weighted direction draws: one
 // FloatEach fill, then table lookups through the same cumulative
 // search as the scalar sample.
-func (w *World) biasedBatched(b *Biased, lo, hi int) bool {
-	if w.floats == nil {
+func (h *hotState) biasedBatched(g topology.Graph, b *Biased, lo, hi int) bool {
+	if h.floats == nil {
 		return false
 	}
-	r, ok := w.graph.(topology.Regular)
+	r, ok := g.(topology.Regular)
 	if !ok || len(b.cumulative) > r.CommonDegree() {
 		return false
 	}
-	pos, streams, f := w.pos[lo:hi], w.streams[lo:hi], w.floats[lo:hi]
-	switch t := w.graph.(type) {
+	pos, streams, f := h.pos[lo:hi], h.streams[lo:hi], h.floats[lo:hi]
+	switch t := g.(type) {
 	case *topology.Torus:
 		rng.FloatEach(streams, f)
 		for k, x := range f {

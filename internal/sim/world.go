@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"antdensity/internal/rng"
+	"antdensity/internal/shard"
 	"antdensity/internal/topology"
 )
 
@@ -88,7 +89,29 @@ type Config struct {
 	// The world copies the slice; Seed is then unused except by
 	// components that read it separately.
 	Streams []rng.Stream
+	// Shards selects the spatial domain decomposition: the world is
+	// split into this many contiguous node-range shards (row-band tiles
+	// on tori), each owning the hot state, occupancy slab, and rng
+	// streams of the agents currently inside it, with a deterministic
+	// cross-shard migration phase every round. The zero value ShardAuto
+	// picks by agent count and GOMAXPROCS (see SetDefaultShards); 1
+	// forces the flat single-shard path. Results are bit-identical for
+	// every shard count — sharding changes execution layout, never
+	// output.
+	Shards int
+	// ParallelMinAgents is the minimum number of agents per worker
+	// below which StepParallel falls back to the serial path (the
+	// per-worker wake/wait overhead exceeds the work). The zero value
+	// means DefaultParallelMinAgents. Sharded worlds ignore it: their
+	// parallel grain is the shard, fixed at construction.
+	ParallelMinAgents int
 }
+
+// DefaultParallelMinAgents is the default StepParallel serial-fallback
+// threshold: fewer than this many agents per requested worker and the
+// round runs serially. The value keeps the historical rule
+// (len(agents) < 2*workers falls back).
+const DefaultParallelMinAgents = 2
 
 // World is a synchronous multi-agent simulation. It tracks agent
 // positions, steps all agents once per round, and serves the model's
@@ -96,8 +119,8 @@ type Config struct {
 // occupancy index.
 type World struct {
 	graph    topology.Graph
-	policies []Policy
-	uniform  Policy // shared policy when no SetPolicy override exists; enables bulk stepping
+	policies []Policy // per-agent overrides; nil until the first SetPolicy
+	uniform  Policy   // shared policy when no SetPolicy override exists; enables bulk stepping
 	hotState          // SoA per-agent state: pos/prev/streams + batched-RNG scratch (see soa.go)
 	tagged   []bool
 	groups   []int32
@@ -107,6 +130,12 @@ type World struct {
 	numTag   int
 	numGroup map[int32]int
 	pool     *stepPool
+	// sh is non-nil in sharded mode (sharded.go): slabs own the
+	// authoritative hot state and occupancy, and the embedded hotState
+	// keeps only pos as an id-indexed position mirror.
+	sh *shardedState
+	// parallelMin is the resolved Config.ParallelMinAgents.
+	parallelMin int
 }
 
 type cell struct {
@@ -137,6 +166,9 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.Streams != nil && len(cfg.Streams) != cfg.NumAgents {
 		return nil, fmt.Errorf("sim: Config.Streams has %d entries for %d agents", len(cfg.Streams), cfg.NumAgents)
 	}
+	if cfg.ParallelMinAgents < 0 {
+		return nil, fmt.Errorf("sim: Config.ParallelMinAgents must be >= 0, got %d", cfg.ParallelMinAgents)
+	}
 	placement := cfg.Placement
 	if placement == nil {
 		placement = UniformPlacement
@@ -145,25 +177,45 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.Policy != nil {
 		policy = cfg.Policy
 	}
+	shards, err := resolveShardCount(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var part *shard.Partition
+	if shards > 1 {
+		if cfg.NumAgents > shardLimitAgents {
+			return nil, fmt.Errorf("sim: sharded worlds support at most %d agents, got %d", shardLimitAgents, cfg.NumAgents)
+		}
+		p, err := shard.New(cfg.Graph, shards)
+		if err != nil {
+			return nil, err
+		}
+		if p.K() >= 2 {
+			part = p
+		}
+	}
+	parallelMin := cfg.ParallelMinAgents
+	if parallelMin == 0 {
+		parallelMin = DefaultParallelMinAgents
+	}
 	root := rng.New(cfg.Seed)
 	w := &World{
-		graph:    cfg.Graph,
-		policies: make([]Policy, cfg.NumAgents),
-		uniform:  policy,
+		graph:   cfg.Graph,
+		uniform: policy,
 		hotState: hotState{
 			pos:     make([]int64, cfg.NumAgents),
 			prev:    make([]int64, cfg.NumAgents),
 			streams: make([]rng.Stream, cfg.NumAgents),
 		},
-		tagged:   make([]bool, cfg.NumAgents),
-		groups:   make([]int32, cfg.NumAgents),
-		numGroup: make(map[int32]int),
+		tagged:      make([]bool, cfg.NumAgents),
+		groups:      make([]int32, cfg.NumAgents),
+		numGroup:    make(map[int32]int),
+		parallelMin: parallelMin,
 	}
-	if err := w.initOcc(cfg.Occupancy, cfg.NumAgents); err != nil {
+	if err := w.initOcc(cfg.Occupancy, cfg.NumAgents, part); err != nil {
 		return nil, err
 	}
 	for i := 0; i < cfg.NumAgents; i++ {
-		w.policies[i] = policy
 		if cfg.Streams != nil {
 			w.streams[i] = cfg.Streams[i]
 		} else {
@@ -177,6 +229,9 @@ func NewWorld(cfg Config) (*World, error) {
 		if w.pos[i] < 0 || w.pos[i] >= cfg.Graph.NumNodes() {
 			return nil, fmt.Errorf("sim: placement put agent %d at %d, outside [0, %d)", i, w.pos[i], cfg.Graph.NumNodes())
 		}
+	}
+	if part != nil {
+		w.initShards(part)
 	}
 	w.occDirty = true
 	return w, nil
@@ -206,8 +261,17 @@ func (w *World) Pos(i int) int64 { return w.pos[i] }
 
 // SetPolicy overrides the movement policy of agent i. A world with any
 // override steps agents one at a time; uniform worlds use the
-// BulkStepper fast path when the policy and topology support it.
+// BulkStepper fast path when the policy and topology support it. The
+// per-agent policy table is materialized on the first override, so
+// uniform worlds — including 10M-agent sharded ones — never pay for
+// it.
 func (w *World) SetPolicy(i int, p Policy) {
+	if w.policies == nil {
+		w.policies = make([]Policy, len(w.pos))
+		for j := range w.policies {
+			w.policies[j] = w.uniform
+		}
+	}
 	w.policies[i] = p
 	w.uniform = nil
 }
@@ -230,6 +294,15 @@ func (w *World) SetTagged(i int, tagged bool) {
 	// The index is live: patch the agent's current cell in place
 	// instead of invalidating everything.
 	p := w.pos[i]
+	if w.sh != nil {
+		sl := w.slabFor(p)
+		if sl.dense != nil {
+			sl.dense[p-sl.lo].tagged += int32(delta)
+		} else {
+			sl.sparse.addTag(p, int32(delta))
+		}
+		return
+	}
 	if d := w.occ.dense; d != nil {
 		d[p].tagged += int32(delta)
 	} else {
@@ -266,7 +339,7 @@ func (w *World) TaggedDensityFor(i int) float64 {
 // per agent.
 func (w *World) stepRange(lo, hi int) {
 	if p := w.uniform; p != nil {
-		if w.stepBatched(p, lo, hi) {
+		if w.stepBatched(w.graph, p, lo, hi) {
 			return
 		}
 		if b, ok := p.(BulkStepper); ok && b.StepMany(w.graph, w.pos[lo:hi], w.streams[lo:hi]) {
@@ -289,6 +362,10 @@ func (w *World) stepRange(lo, hi int) {
 // occupancy index is live it is updated incrementally; worlds that
 // never query counts pay nothing for it.
 func (w *World) Step() {
+	if w.sh != nil {
+		w.stepSharded(1)
+		return
+	}
 	w.ensureScratch()
 	track := !w.occDirty
 	if track {
@@ -305,10 +382,17 @@ func (w *World) Step() {
 // goroutines from the world's persistent pool (created on first use,
 // reused every round). Because every agent steps from its own private
 // stream, the result is bit-identical to Step regardless of workers;
-// use it for worlds with hundreds of thousands of agents. workers < 2
-// falls back to the serial path.
+// use it for worlds with hundreds of thousands of agents. On a
+// sharded world, workers range over shards (each phase of the round
+// splits its shards across the pool). On a flat world, workers < 2 or
+// fewer than ParallelMinAgents agents per worker falls back to the
+// serial path.
 func (w *World) StepParallel(workers int) {
-	if workers < 2 || len(w.pos) < 2*workers {
+	if w.sh != nil {
+		w.stepSharded(workers)
+		return
+	}
+	if workers < 2 || len(w.pos) < w.parallelMin*workers {
 		w.Step()
 		return
 	}
@@ -353,6 +437,16 @@ func (w *World) SetGroup(i int, group int) {
 	}
 	// Patch the live per-group index at the agent's current position.
 	p := w.pos[i]
+	if w.sh != nil {
+		sl := w.slabFor(p)
+		if old != 0 {
+			sl.groupDec(p, old)
+		}
+		if g != 0 {
+			sl.groupInc(p, g)
+		}
+		return
+	}
 	if old != 0 {
 		k := groupKey{pos: p, group: old}
 		if n := w.occ.group[k] - 1; n == 0 {
@@ -382,7 +476,13 @@ func (w *World) CountInGroup(i, group int) int {
 	if w.occDirty {
 		w.rebuildOcc()
 	}
-	c := int(w.occ.group[groupKey{pos: w.pos[i], group: int32(group)}])
+	p := w.pos[i]
+	var c int
+	if w.sh != nil {
+		c = int(w.slabFor(p).group[groupKey{pos: p, group: int32(group)}])
+	} else {
+		c = int(w.occ.group[groupKey{pos: p, group: int32(group)}])
+	}
 	if int(w.groups[i]) == group {
 		c--
 	}
@@ -405,10 +505,7 @@ func (w *World) Count(i int) int {
 	if w.occDirty {
 		w.rebuildOcc()
 	}
-	if d := w.occ.dense; d != nil {
-		return int(d[w.pos[i]].total) - 1
-	}
-	return int(w.occ.sparse.get(w.pos[i]).total) - 1
+	return int(w.occCell(w.pos[i]).total) - 1
 }
 
 // CountTagged returns the number of other *tagged* agents at agent i's

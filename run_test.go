@@ -488,3 +488,28 @@ func TestRunResultStructured(t *testing.T) {
 		}
 	}
 }
+
+// TestRunShardInvariance pins shard-transparency at the facade: the
+// same Spec run flat, sharded serially, and sharded with a prime shard
+// count yields bit-identical per-agent estimates, because sharding is
+// execution layout only (the shards=1-vs-K twin of the workers=1-vs-N
+// invariant, proven at the sim layer by the property matrix).
+func TestRunShardInvariance(t *testing.T) {
+	build := func(k int) *antdensity.Spec {
+		return antdensity.DensitySpec(
+			antdensity.WithTorus2D(20),
+			antdensity.WithAgents(41),
+			antdensity.WithSeed(7),
+			antdensity.WithRounds(150),
+			antdensity.WithShards(k),
+		)
+	}
+	base := runSpec(t, build(1))
+	for _, k := range []int{2, 7} {
+		out := runSpec(t, build(k))
+		if out.Rounds != base.Rounds {
+			t.Fatalf("shards=%d ran %d rounds, flat ran %d", k, out.Rounds, base.Rounds)
+		}
+		sameFloats(t, "sharded estimates", out.Estimates, base.Estimates)
+	}
+}

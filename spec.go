@@ -180,6 +180,17 @@ type Spec struct {
 	// round. 0 means 1 (publish every round).
 	SnapshotEvery int
 
+	// Shards is the spatial shard count for the run's world (see
+	// sim.Config.Shards): 0 lets the world decide (sim.ShardAuto,
+	// which also honors the process-wide sim.SetDefaultShards default
+	// installed by the CLI's -shards flag). Purely an execution-layout
+	// knob — results are bit-identical for every shard count, so it is
+	// excluded from the fingerprint. Ignored when World is set (the
+	// injected world already has its layout) and for KindNetworkSize,
+	// whose walker world is built internally and follows the
+	// process-wide default.
+	Shards int
+
 	// GraphKey optionally names Graph's canonical identity when the
 	// graph type cannot carry one itself (no GraphIdentity
 	// implementation): callers that build a graph from a recipe set it
@@ -366,6 +377,10 @@ func WithSeedVertex(v int64) SpecOption { return func(s *Spec) { s.SeedVertex = 
 // of every round; larger k lowers snapshot overhead on huge worlds.
 func WithSnapshotEvery(k int) SpecOption { return func(s *Spec) { s.SnapshotEvery = k } }
 
+// WithShards sets the run world's spatial shard count (0 = auto; see
+// Spec.Shards — never affects results, only execution layout).
+func WithShards(k int) SpecOption { return func(s *Spec) { s.Shards = k } }
+
 // isQuorum reports whether the kind is one of the quorum estimators.
 func (k Kind) isQuorum() bool { return k == KindQuorum || k == KindQuorumAdaptive }
 
@@ -412,6 +427,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.SnapshotEvery < 0 {
 		return fmt.Errorf("antdensity: Spec.SnapshotEvery must be >= 0 (0 means every round), got %d", s.SnapshotEvery)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("antdensity: Spec.Shards must be >= 0 (0 means auto), got %d", s.Shards)
 	}
 	if s.Delta < 0 || s.Delta >= 1 {
 		return fmt.Errorf("antdensity: Spec.Delta %v outside (0, 1) (0 means the 0.05 default)", s.Delta)
@@ -504,6 +522,9 @@ func (s *Spec) validateNetsize() error {
 	if s.SnapshotEvery < 0 {
 		return fmt.Errorf("antdensity: Spec.SnapshotEvery must be >= 0 (0 means every round), got %d", s.SnapshotEvery)
 	}
+	if s.Shards < 0 {
+		return fmt.Errorf("antdensity: Spec.Shards must be >= 0 (0 means auto), got %d", s.Shards)
+	}
 	if !s.Stationary {
 		if s.SeedVertex < 0 || s.SeedVertex >= s.Graph.NumNodes() {
 			return fmt.Errorf("antdensity: Spec.SeedVertex %d outside [0, %d) (the graph's node range)", s.SeedVertex, s.Graph.NumNodes())
@@ -566,7 +587,7 @@ func (s *Spec) buildWorld() (*World, error) {
 	w := s.World
 	if w == nil {
 		var err error
-		w, err = sim.NewWorld(sim.Config{Graph: s.Graph, NumAgents: s.NumAgents, Seed: s.Seed})
+		w, err = sim.NewWorld(sim.Config{Graph: s.Graph, NumAgents: s.NumAgents, Seed: s.Seed, Shards: s.Shards})
 		if err != nil {
 			return nil, err
 		}
