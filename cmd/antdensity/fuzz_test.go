@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"antdensity/internal/adversary"
+)
+
+// fuzz-side resource caps: the sampled graph recipes allocate
+// O(nodes*degree) adjacency, so unbounded fuzz inputs would measure
+// the machine's RAM instead of the parser. Validation paths below the
+// caps (negative, zero, degree > nodes, odd n*d, ...) stay reachable.
+const (
+	fuzzMaxNodes  = 1 << 14
+	fuzzMaxDegree = 64
+	fuzzMaxBits   = 20
+	fuzzMaxSide   = 1 << 10
+	fuzzMaxDims   = 6
+)
+
+// FuzzBuildGraph drives the serve frontend's graph-recipe parser with
+// arbitrary request JSON: decode must never panic, buildGraph must
+// either error or hand back a usable graph (positive node count,
+// in-range neighbors at node 0).
+func FuzzBuildGraph(f *testing.F) {
+	for _, seed := range []string{
+		`{"kind":"torus2d","side":20}`,
+		`{"kind":"torus","dims":3,"side":5}`,
+		`{"kind":"ring","nodes":100}`,
+		`{"kind":"hypercube","bits":8}`,
+		`{"kind":"complete","nodes":50}`,
+		`{"kind":"regular","nodes":200,"degree":4,"seed":7}`,
+		`{"kind":"ba","nodes":300,"degree":3,"seed":1}`,
+		`{"kind":"er","nodes":256,"degree":6,"seed":2}`,
+		`{"kind":"ws","nodes":128,"degree":4,"seed":3}`,
+		`{"kind":"torus2d","side":-1}`,
+		`{"kind":"er","nodes":10,"degree":11}`,
+		`{"kind":"nope"}`,
+		`{}`,
+		`{"kind":"regular","nodes":5,"degree":3}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var gr graphRequest
+		if err := json.Unmarshal(data, &gr); err != nil {
+			return
+		}
+		if gr.Nodes > fuzzMaxNodes || gr.Side > fuzzMaxSide || gr.Dims > fuzzMaxDims ||
+			gr.Bits > fuzzMaxBits || gr.Degree > fuzzMaxDegree {
+			return
+		}
+		g, err := buildGraph(gr)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("buildGraph(%+v) returned both a graph and error %v", gr, err)
+			}
+			return
+		}
+		if g == nil {
+			t.Fatalf("buildGraph(%+v) returned nil graph without error", gr)
+		}
+		n := g.NumNodes()
+		if n < 1 {
+			t.Fatalf("buildGraph(%+v) built an empty graph (n=%d)", gr, n)
+		}
+		d := g.Degree(0)
+		if d < 0 {
+			t.Fatalf("buildGraph(%+v): negative degree %d at node 0", gr, d)
+		}
+		for i := 0; i < d; i++ {
+			if v := g.Neighbor(0, i); v < 0 || v >= n {
+				t.Fatalf("buildGraph(%+v): neighbor %d of node 0 out of range: %d (n=%d)", gr, i, v, n)
+			}
+		}
+	})
+}
+
+// FuzzParseAdversaryFlag drives the CLI's -adversary grammar
+// (kind:fraction[:param][:seed]) end to end through Tamperer
+// construction, checking the defaulting contract: an accepted value
+// yields a validated config, timed strategies never keep a zero
+// trigger round, and seed 0 is always replaced by a run-derived seed.
+func FuzzParseAdversaryFlag(f *testing.F) {
+	for _, seed := range []string{
+		"", "inflate:0.2", "deflate:0.5:3", "random:0.3:10:7",
+		"stall:0.1", "crash:0.1:500", "crash:0.1:0:9",
+		"lie:0.5", "inflate:1.5", "inflate:NaN", "inflate:0.2:-1",
+		"inflate", "a:b:c:d:e", "crash:0.1:2.5", "inflate:0.2:5:-1",
+	} {
+		f.Add(seed, 41, 1000, uint64(1))
+	}
+	f.Fuzz(func(t *testing.T, val string, n, rounds int, runSeed uint64) {
+		if n < 0 || n > 1<<12 {
+			n %= 1 << 12
+			if n < 0 {
+				n = -n
+			}
+		}
+		tam, err := parseAdversaryFlag(val, n, rounds, runSeed)
+		if val == "" {
+			if tam != nil || err != nil {
+				t.Fatalf("empty flag must be a silent no-op, got tam=%v err=%v", tam, err)
+			}
+			return
+		}
+		if err != nil {
+			if tam != nil {
+				t.Fatalf("parseAdversaryFlag(%q) returned both a tamperer and error %v", val, err)
+			}
+			return
+		}
+		if tam == nil {
+			t.Fatalf("parseAdversaryFlag(%q) returned nil tamperer without error", val)
+		}
+		if got := tam.NumAdversarial(); got < 0 || got > n {
+			t.Fatalf("parseAdversaryFlag(%q, n=%d): %d adversarial agents out of range", val, n, got)
+		}
+		// Anything the CLI accepted must also parse under the raw
+		// grammar — the CLI layer only defaults, never widens.
+		if _, perr := adversary.ParseFlag(val); perr != nil {
+			t.Fatalf("parseAdversaryFlag(%q) accepted what ParseFlag rejects: %v", val, perr)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+// Command antlint runs antdensity's custom static-analysis suite
+// (internal/analysis) over the module: mapiter, rngpurity,
+// fingerprintcover, and noalloc. It prints one line per diagnostic
+// and exits 1 if there were any, 2 on infrastructure failure — CI
+// runs `go run ./cmd/antlint ./...` as a build gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"antdensity/internal/analysis"
+)
+
+func main() {
+	var (
+		names = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		list  = flag.Bool("list", false, "list the analyzers and exit")
+		dir   = flag.String("C", "", "change to this directory (the module root) before loading")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: antlint [flags] [packages]\n\nRuns the antdensity static-analysis suite; packages default to ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-17s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers := analysis.All()
+	if *names != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*names, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "antlint:", err)
+			os.Exit(2)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader(*dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "antlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "antlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "antlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -106,6 +106,16 @@
 //     TPR/FPR. Robust aggregators (median, trimmed mean,
 //     median-of-means) live in internal/stats; trimmed quorum votes
 //     in internal/quorum; experiments E27-E29 quantify all three.
+//   - internal/analysis — the repo's own static-analysis suite,
+//     run as the `go run ./cmd/antlint ./...` CI gate: mapiter
+//     (no map-iteration-order dependence in result-affecting
+//     packages), rngpurity (no ambient randomness, wall clocks, or
+//     mutable globals there), fingerprintcover (every Spec field
+//     hashed by Fingerprint or explicitly excluded — the result
+//     cache's integrity proof), and noalloc (functions annotated
+//     //antlint:noalloc stay free of allocating constructs). Built
+//     on go/ast + go/types with imports resolved from `go list
+//     -export` data, so it needs nothing beyond the toolchain.
 //
 // Every experiment's Monte Carlo loop runs through the shared
 // parallel trial runner in internal/experiments/runner.go: a

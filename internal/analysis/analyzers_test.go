@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestMapIterFixture(t *testing.T) {
+	runFixture(t, "mapiter/sim", MapIter)
+}
+
+func TestMapIterOutOfScope(t *testing.T) {
+	runFixture(t, "mapiter/outofscope", MapIter)
+}
+
+func TestRngPurityFixture(t *testing.T) {
+	runFixture(t, "rngpurity/core", RngPurity)
+}
+
+func TestRngPurityObservationalAllowlist(t *testing.T) {
+	runFixture(t, "rngpurity/journal", RngPurity)
+}
+
+func TestFingerprintCoverCovered(t *testing.T) {
+	runFixture(t, "fingerprintcover/covered", FingerprintCover)
+}
+
+func TestFingerprintCoverMissing(t *testing.T) {
+	runFixture(t, "fingerprintcover/missing", FingerprintCover)
+}
+
+func TestFingerprintCoverStale(t *testing.T) {
+	runFixture(t, "fingerprintcover/stale", FingerprintCover)
+}
+
+func TestNoAllocFixture(t *testing.T) {
+	runFixture(t, "noalloc", NoAlloc)
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName([]string{"mapiter", "noalloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0] != MapIter || as[1] != NoAlloc {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+func TestAnnotationParsing(t *testing.T) {
+	cases := []struct {
+		text   string
+		name   string
+		reason string
+		ok     bool
+	}{
+		{"//antlint:orderok keys are sorted", "orderok", "keys are sorted", true},
+		{"//antlint:noalloc", "noalloc", "", true},
+		{"// antlint:orderok spaced out", "", "", false}, // directives take no space, like //go:
+		{"// ordinary comment", "", "", false},
+		{"//antlint:", "", "", false},
+	}
+	for _, c := range cases {
+		a, ok := parseAnnotation(c.text)
+		if ok != c.ok || a.Name != c.name || a.Reason != c.reason {
+			t.Errorf("parseAnnotation(%q) = %+v, %v; want name=%q reason=%q ok=%v",
+				c.text, a, ok, c.name, c.reason, c.ok)
+		}
+	}
+}

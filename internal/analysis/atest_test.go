@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runFixture is a miniature analysistest: it loads the one-package
+// fixture directory testdata/src/<rel>, runs the analyzers over it,
+// and checks the diagnostics against `// want "regex"` comments —
+// every want must be matched by a diagnostic on its line, and every
+// diagnostic must be covered by a want. The fixture's import path is
+// "antdensity/internal/analysis/testdata/src/<rel>", so a fixture
+// directory named after a result-affecting package (e.g. .../sim)
+// lands in mapiter/rngpurity scope by base-name matching.
+func runFixture(t *testing.T, rel string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+	loader := NewLoader("")
+	pkg, err := loader.LoadDir("antdensity/internal/analysis/testdata/src/"+rel, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", rel, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[annotationKey][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := annotationKey{pos.Filename, pos.Line}
+				for _, raw := range splitQuoted(t, text[len("want "):]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					wants[k] = append(wants[k], &want{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := annotationKey{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Analyzer+": "+d.Message) {
+				w.matched, found = true, true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, w.raw)
+			}
+		}
+	}
+}
+
+// splitQuoted parses the quoted regex list of a want comment:
+// `want "a" "b"` -> [a b].
+func splitQuoted(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("want patterns must be double-quoted, got %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '"' && s[i-1] != '\\' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("unterminated want pattern in %q", s)
+		}
+		raw, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("bad want pattern %q: %v", s[:end+1], err)
+		}
+		out = append(out, raw)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

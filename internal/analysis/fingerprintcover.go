@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// FingerprintCover proves the Spec result cache can never silently
+// serve a wrong answer: every field of a package's `Spec` struct must
+// either be read somewhere inside `Fingerprint()` (including any
+// same-package function or method Fingerprint calls, transitively —
+// graphIdentity covering Graph/GraphKey, delta() covering Delta) or
+// be named in the package-level `fingerprintExcluded` string list
+// with the author on record that the field cannot affect results.
+//
+// Adding a Spec field without deciding its cache semantics is
+// therefore a build error, as are stale or contradictory exclusions
+// (an excluded name that is no longer a field, or a field that is
+// both hashed and excluded).
+//
+// The analyzer activates on any package that declares both a struct
+// type named Spec and a method Fingerprint on it; other packages are
+// ignored.
+var FingerprintCover = &Analyzer{
+	Name: "fingerprintcover",
+	Doc:  "verifies every Spec field is hashed by Fingerprint() or explicitly listed in fingerprintExcluded",
+	Run:  runFingerprintCover,
+}
+
+func runFingerprintCover(p *Pass) error {
+	specObj, ok := p.Pkg.Scope().Lookup("Spec").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := specObj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	structType, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	fingerprint := methodNamed(named, "Fingerprint")
+	if fingerprint == nil {
+		return nil
+	}
+
+	fields := map[*types.Var]*ast.Ident{}
+	fieldByName := map[string]*types.Var{}
+	for i := 0; i < structType.NumFields(); i++ {
+		f := structType.Field(i)
+		fields[f] = nil
+		fieldByName[f.Name()] = f
+	}
+	// Recover each field's declaration site for diagnostics.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj, ok := p.TypesInfo.Defs[id].(*types.Var); ok {
+				if _, isField := fields[obj]; isField {
+					fields[obj] = id
+				}
+			}
+			return true
+		})
+	}
+
+	covered := p.fieldsReadFrom(fingerprint, fields)
+	excluded, exclPos := p.excludedList()
+
+	for name, entry := range exclPos {
+		f, isField := fieldByName[name]
+		if !isField {
+			p.Reportf(entry.Pos(), "fingerprintExcluded names %q, which is not a Spec field: remove the stale entry", name)
+			continue
+		}
+		if covered[f] {
+			p.Reportf(entry.Pos(), "Spec field %s is both hashed by Fingerprint and listed in fingerprintExcluded: pick one", name)
+		}
+	}
+	for i := 0; i < structType.NumFields(); i++ {
+		f := structType.Field(i)
+		if covered[f] || excluded[f.Name()] {
+			continue
+		}
+		pos := fingerprint.Pos()
+		if id := fields[f]; id != nil {
+			pos = id.Pos()
+		}
+		p.Reportf(pos, "Spec field %s is not hashed by Fingerprint() and not in fingerprintExcluded: decide its cache semantics (hash it, or exclude it with a comment saying why it cannot affect results)", f.Name())
+	}
+	return nil
+}
+
+func methodNamed(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// fieldsReadFrom walks the bodies of root and every same-package
+// function or method it transitively calls, collecting which of the
+// given struct fields are selected anywhere along the way.
+func (p *Pass) fieldsReadFrom(root *types.Func, fields map[*types.Var]*ast.Ident) map[*types.Var]bool {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	covered := map[*types.Var]bool{}
+	visited := map[*types.Func]bool{}
+	queue := []*types.Func{root}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel := p.TypesInfo.Selections[n]; sel != nil {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						if _, isField := fields[v]; isField {
+							covered[v] = true
+						}
+					}
+				}
+				if callee, ok := p.TypesInfo.Uses[n.Sel].(*types.Func); ok && callee.Pkg() == p.Pkg {
+					queue = append(queue, callee)
+				}
+			case *ast.Ident:
+				if callee, ok := p.TypesInfo.Uses[n].(*types.Func); ok && callee.Pkg() == p.Pkg {
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+	return covered
+}
+
+// excludedList reads the package-level
+// `var fingerprintExcluded = []string{...}` declaration, returning
+// the excluded names and each entry's position. A missing declaration
+// is an empty exclusion list.
+func (p *Pass) excludedList() (map[string]bool, map[string]ast.Node) {
+	names := map[string]bool{}
+	positions := map[string]ast.Node{}
+	obj := p.Pkg.Scope().Lookup("fingerprintExcluded")
+	if obj == nil {
+		return names, nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if p.TypesInfo.Defs[name] != obj || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range lit.Elts {
+					tv, ok := p.TypesInfo.Types[elt]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+						continue
+					}
+					s := constant.StringVal(tv.Value)
+					names[s] = true
+					positions[s] = elt
+				}
+			}
+			return true
+		})
+	}
+	return names, positions
+}

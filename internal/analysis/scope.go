@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// resultPackages names the result-affecting packages — the ones whose
+// control flow feeds estimator outputs, so any iteration-order or
+// randomness-source nondeterminism in them breaks the repository's
+// bit-identity guarantees (worker/shard invariance, goldens, and the
+// (Spec, seed) result cache). mapiter and rngpurity run only here;
+// matching is by the package path's last element so analysistest
+// fixtures named after a real package land in scope too.
+var resultPackages = map[string]bool{
+	"sim":         true,
+	"core":        true,
+	"quorum":      true,
+	"netsize":     true,
+	"walk":        true,
+	"adversary":   true,
+	"experiments": true,
+	"stats":       true,
+	"results":     true,
+	// Beyond the estimator packages proper: topology supplies the step
+	// kernels, shard the migration order, rng the streams themselves —
+	// nondeterminism there is just as fatal.
+	"topology": true,
+	"shard":    true,
+	"rng":      true,
+}
+
+// observationalPackages are explicitly out of rngpurity's scope even
+// though they sit near the hot path: journal and the serve layer
+// record wall-clock timestamps, which are observational (they never
+// feed a result).
+var observationalPackages = map[string]bool{
+	"journal": true,
+	"serve":   true,
+}
+
+func inResultScope(pkg *types.Package) bool {
+	base := pkg.Path()
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return resultPackages[base] && !observationalPackages[base]
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot is the module root, two levels up from this package.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestRepoSelfClean is the same gate CI enforces via `go run
+// ./cmd/antlint ./...`: the repository's own packages must produce
+// zero diagnostics under every analyzer. A failure here means either
+// new code broke an invariant or an analyzer heuristic needs a
+// suppression annotation with a written reason.
+func TestRepoSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	l := NewLoader(repoRoot(t))
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d); loader broken?", len(pkgs))
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo not clean: %s", d)
+	}
+}
+
+// TestRepoFingerprintCoversSpec is the acceptance-criteria regression
+// for fingerprintcover: copy the real root package, grow Spec by one
+// field nobody hashes, and prove the analyzer refuses it. This is
+// what protects the (Spec, seed) result cache from silently serving
+// stale results when Spec gains a result-affecting knob.
+func TestRepoFingerprintCoversSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a copy of the root package")
+	}
+	root := repoRoot(t)
+	tmp := t.TempDir()
+	names, err := filepath.Glob(filepath.Join(root, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := false
+	var copied []string
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filepath.Base(name) == "spec.go" {
+			const anchor = "type Spec struct {"
+			if !strings.Contains(string(src), anchor) {
+				t.Fatalf("anchor %q not found in spec.go", anchor)
+			}
+			src = []byte(strings.Replace(string(src), anchor,
+				anchor+"\n\tDummyUnhashedKnob int\n", 1))
+			injected = true
+		}
+		dst := filepath.Join(tmp, filepath.Base(name))
+		if err := os.WriteFile(dst, src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		copied = append(copied, dst)
+	}
+	if !injected {
+		t.Fatal("spec.go not among copied files")
+	}
+
+	l := NewLoader(root) // root Dir so `go list` resolves module imports
+	pkg, err := l.LoadFiles("antdensity", copied...)
+	if err != nil {
+		t.Fatalf("type-checking mutated root package: %v", err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{FingerprintCover})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "DummyUnhashedKnob") {
+			found = true
+		} else {
+			t.Errorf("unexpected diagnostic on mutated copy: %s", d)
+		}
+	}
+	if !found {
+		t.Fatal("fingerprintcover accepted a Spec field that Fingerprint never hashes")
+	}
+}

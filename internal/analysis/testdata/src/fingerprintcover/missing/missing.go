@@ -1,0 +1,15 @@
+// Package missing is a fingerprintcover positive fixture: Spec grew
+// fields nobody taught Fingerprint or fingerprintExcluded about.
+package missing
+
+import "strconv"
+
+type Spec struct {
+	Seed    uint64
+	Rounds  int // want "fingerprintcover: Spec field Rounds is not hashed by Fingerprint"
+	Workers int // want "fingerprintcover: Spec field Workers is not hashed by Fingerprint"
+}
+
+func (s *Spec) Fingerprint() string {
+	return strconv.FormatUint(s.Seed, 10)
+}

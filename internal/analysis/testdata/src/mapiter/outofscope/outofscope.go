@@ -1,0 +1,11 @@
+// Package outofscope is a mapiter negative fixture: its base name is
+// not a result-affecting package, so nothing here is flagged.
+package outofscope
+
+func unflagged(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

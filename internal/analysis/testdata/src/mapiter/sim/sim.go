@@ -1,0 +1,131 @@
+// Package sim is a mapiter fixture: its base name puts it in
+// result-affecting scope.
+package sim
+
+import (
+	"sort"
+)
+
+func flagged(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "mapiter: iteration over map map\\[string\\]float64 has randomized order"
+		sum += v
+	}
+	return sum
+}
+
+func flaggedKeyOnly(m map[string]int, out []string) []string {
+	for k := range m { // want "mapiter: iteration over map"
+		out = append(out, k) // collected but never sorted
+	}
+	return out
+}
+
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	//antlint:orderok fixture: pretend this sum is integral
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectGuardedThenSort(m map[string]int, used map[string]bool) []string {
+	var keys []string
+	for k := range m {
+		if !used[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func collectWithoutSortAbove(m map[string]int) []string {
+	// sorting BEFORE the loop does not count
+	var keys []string
+	sort.Strings(keys)
+	for k := range m { // want "mapiter: iteration over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func perKeyWrite(src map[int64]int, trials int) map[int64]float64 {
+	dst := make(map[int64]float64, len(src))
+	for node, c := range src {
+		dst[node] = float64(c) / float64(trials)
+	}
+	return dst
+}
+
+func perKeyIncrement(src map[string]int, acc map[string]int) {
+	for k := range src {
+		acc[k]++
+	}
+}
+
+func perKeyWriteImpure(src map[string]int, dst map[string]int) {
+	for k, v := range src { // want "mapiter: iteration over map"
+		dst[k] = impure(v)
+	}
+}
+
+func impure(v int) int { return v + 1 }
+
+func maxReduction(m map[int64]float64) float64 {
+	var max float64
+	for _, p := range m {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+func minReduction(m map[string]int) int {
+	min := 1 << 62
+	for _, v := range m {
+		if min > v {
+			min = v
+		}
+	}
+	return min
+}
+
+func argmaxFlagged(m map[string]float64) string {
+	var best string
+	var bestV float64
+	for k, v := range m { // want "mapiter: iteration over map"
+		if v > bestV {
+			bestV = v
+			best = k // ties depend on iteration order
+		}
+	}
+	return best
+}
+
+func keylessOK(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sliceRangeOK(s []float64) float64 {
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

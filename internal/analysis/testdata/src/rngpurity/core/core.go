@@ -1,0 +1,54 @@
+// Package core is an rngpurity fixture: its base name puts it in
+// result-affecting scope.
+package core
+
+import (
+	"math/rand" // want "rngpurity: import of math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// readOnlyTable is never mutated: allowed without annotation.
+var readOnlyTable = [...]string{"a", "b"}
+
+// mutatedCounter is written by bump below.
+var mutatedCounter int // want "rngpurity: package-level var mutatedCounter is mutated"
+
+// mutatedMap gets element writes.
+var mutatedMap = map[string]int{} // want "rngpurity: package-level var mutatedMap is mutated"
+
+// atomicState is mutated through a pointer-receiver method.
+var atomicState atomic.Int64 // want "rngpurity: package-level var atomicState is mutated"
+
+// addressTaken escapes via &.
+var addressTaken int // want "rngpurity: package-level var addressTaken is mutated"
+
+//antlint:globalok fixture: deliberate memoization cache
+var blessedCache sync.Map
+
+func bump(k string) {
+	mutatedCounter++
+	mutatedMap[k] = mutatedCounter
+	atomicState.Store(int64(mutatedCounter))
+	blessedCache.Store(k, mutatedCounter)
+}
+
+func escape() *int { return &addressTaken }
+
+func draw() float64 {
+	return rand.Float64() // the import is the diagnostic, not each call
+}
+
+func stamp() time.Time {
+	return time.Now() // want "rngpurity: time.Now in a result-affecting package"
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want "rngpurity: time.Since in a result-affecting package"
+}
+
+// durationOK: using the time package for arithmetic types is fine.
+func durationOK(d time.Duration) float64 { return d.Seconds() }
+
+func use() (string, int) { return readOnlyTable[0], len(mutatedMap) }

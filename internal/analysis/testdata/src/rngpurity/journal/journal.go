@@ -1,0 +1,14 @@
+// Package journal is an rngpurity negative fixture: the journal/serve
+// layers are allowlisted — their wall-clock reads are observational.
+package journal
+
+import (
+	"time"
+)
+
+var seq int64
+
+func stamp() (time.Time, int64) {
+	seq++
+	return time.Now(), seq
+}

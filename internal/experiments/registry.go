@@ -128,6 +128,7 @@ func (e Experiment) Run(p Params) (*Outcome, error) {
 // that the sweep engine can execute.
 func (e Experiment) Sweepable() bool { return e.Cell != nil && len(e.Axes) > 0 }
 
+//antlint:globalok write-once at package init via register; read-only afterwards
 var registry = map[string]Experiment{}
 
 // register adds an experiment to the global registry; duplicate IDs
@@ -142,6 +143,7 @@ func register(e Experiment) {
 // All returns every registered experiment sorted by ID.
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
+	//antlint:orderok collected values are sorted by ID below, and IDs are unique (registry keys)
 	for _, e := range registry {
 		out = append(out, e)
 	}

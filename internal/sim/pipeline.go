@@ -211,6 +211,7 @@ func (rn *Runner) Stopped() bool {
 // Step advances the world one round and hands the snapshot to every
 // observer that has not stopped. It reports whether the run should
 // continue; once it returns false, further calls are no-ops.
+//antlint:noalloc
 func (rn *Runner) Step() bool {
 	if rn.Stopped() {
 		return false

@@ -62,6 +62,7 @@ const shardMaxAuto = 64
 
 // defaultShards is the process-wide ShardAuto override installed by
 // SetDefaultShards (the CLI's -shards flag).
+//antlint:globalok execution-layout default only; results are shard-invariant for every count (TestRunShardInvariance)
 var defaultShards atomic.Int32
 
 // SetDefaultShards installs a process-wide shard count that ShardAuto
@@ -207,6 +208,7 @@ func (w *World) autoStepWorkers() int {
 // counts — because slab ownership (agent in slab s iff its position is
 // in s's range) is the structural invariant everything else indexes
 // by.
+//antlint:noalloc
 func (w *World) stepSharded(workers int) {
 	sh := w.sh
 	sh.track = !w.occDirty
@@ -250,6 +252,7 @@ func (sl *shardSlab) syncScratch(sh *shardedState) {
 // eviction. Touches only slab s, its outgoing mailboxes, and
 // disjoint-id elements of the flat position mirror — safe to run
 // concurrently with any other shard's phase 1.
+//antlint:noalloc
 func (w *World) shardPhase1(s int) {
 	sh := w.sh
 	sl := &sh.slabs[s]
@@ -262,6 +265,7 @@ func (w *World) shardPhase1(s int) {
 	sl.syncScratch(sh)
 	if track {
 		if cap(sl.prev) < n {
+			//antlint:allocok capacity high-water regrow; stabilizes after migration warm-up (see padShardCapacities)
 			sl.prev = make([]int64, n, cap(sl.pos))
 		} else {
 			sl.prev = sl.prev[:n]
@@ -325,6 +329,7 @@ func (w *World) shardPhase1(s int) {
 // incoming mailboxes — safe to run concurrently with any other
 // shard's phase 2, and the fixed merge order makes the resulting slab
 // layout independent of worker count.
+//antlint:noalloc
 func (w *World) shardPhase2(s int) {
 	sh := w.sh
 	sl := &sh.slabs[s]
@@ -458,6 +463,7 @@ func (w *World) shardCountsRange(s int) {
 
 // shardCountsInto runs the bulk-count scatter over all shards,
 // through the pool when one is warm.
+//antlint:noalloc
 func (w *World) shardCountsInto(out []int, tagged bool) {
 	sh := w.sh
 	sh.countsDst = out

@@ -361,6 +361,7 @@ func (w *World) stepRange(lo, hi int) {
 // they have the same position at the end of the round". If the
 // occupancy index is live it is updated incrementally; worlds that
 // never query counts pay nothing for it.
+//antlint:noalloc
 func (w *World) Step() {
 	if w.sh != nil {
 		w.stepSharded(1)
@@ -387,6 +388,7 @@ func (w *World) Step() {
 // splits its shards across the pool). On a flat world, workers < 2 or
 // fewer than ParallelMinAgents agents per worker falls back to the
 // serial path.
+//antlint:noalloc
 func (w *World) StepParallel(workers int) {
 	if w.sh != nil {
 		w.stepSharded(workers)
@@ -501,6 +503,7 @@ func (w *World) GroupDensityFor(i, group int) float64 {
 
 // Count implements the model's count(position) sensing for agent i:
 // the number of other agents at i's current position.
+//antlint:noalloc
 func (w *World) Count(i int) int {
 	if w.occDirty {
 		w.rebuildOcc()
@@ -512,6 +515,7 @@ func (w *World) Count(i int) int {
 // position — the property-specific encounter sensing of Section 5.2
 // ("ants can detect this property ... and separately track encounters
 // with these agents").
+//antlint:noalloc
 func (w *World) CountTagged(i int) int {
 	if w.occDirty {
 		w.rebuildOcc()

@@ -16,6 +16,20 @@ import (
 	"strings"
 )
 
+// fingerprintExcluded names the Spec fields deliberately left out of
+// Fingerprint, each reviewed as incapable of affecting results. The
+// fingerprintcover analyzer (internal/analysis, run by cmd/antlint)
+// enforces that every Spec field is either hashed by Fingerprint or
+// listed here — a new field cannot ship without a cache-semantics
+// decision, because an unhashed result-affecting field would make the
+// (Spec, seed) cache serve wrong results to every deduped client.
+var fingerprintExcluded = []string{
+	"SnapshotEvery", // snapshot publication throttle: purely observational
+	"Shards",        // execution layout; results are shard-invariant (TestRunShardInvariance)
+	"graphErr",      // deferred option error; Validate rejects the Spec before any run
+	"netProgress",   // progress callback: observational, never feeds a result
+}
+
 // GraphIdentity is optionally implemented by Graphs with a canonical,
 // content-addressable identity: equal GraphID strings mean identical
 // graphs, node for node and edge for edge. The arithmetic topologies
